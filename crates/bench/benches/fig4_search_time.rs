@@ -1,0 +1,42 @@
+//! Figure-4 bench: the cost of running one search campaign per strategy
+//! (random, BO, Collie) on subsystem F with a shortened simulated budget.
+//! The full 10-hour campaigns live in the `fig4` binary; the bench tracks
+//! the wall-clock cost of the campaign machinery so the harness stays fast.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use collie_core::engine::WorkloadEngine;
+use collie_core::search::{run_search, SearchConfig, SearchStrategy};
+use collie_core::space::SearchSpace;
+use collie_rnic::subsystems::SubsystemId;
+use collie_sim::time::SimDuration;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/one_hour_campaign");
+    group.sample_size(10);
+    for strategy in [
+        SearchStrategy::Random,
+        SearchStrategy::Bayesian,
+        SearchStrategy::SimulatedAnnealing,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+                    let space = SearchSpace::for_host(&SubsystemId::F.host());
+                    let config = SearchConfig {
+                        strategy,
+                        ..SearchConfig::collie(17)
+                    }
+                    .with_budget(SimDuration::from_secs(3600));
+                    black_box(run_search(&mut engine, &space, &config))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure-5 bench: the Perf/Diag × with/without-MFS ablation variants of
+//! the Collie search, each run with a shortened simulated budget. Verifies
+//! the ablation machinery (signal switching, MFS toggling) does not change
+//! the campaign's wall-clock cost class.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use collie_core::engine::WorkloadEngine;
+use collie_core::search::{run_search, SearchConfig, SignalMode};
+use collie_core::space::SearchSpace;
+use collie_rnic::subsystems::SubsystemId;
+use collie_sim::time::SimDuration;
+
+fn bench_ablation_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/one_hour_variant");
+    group.sample_size(10);
+    let variants = [
+        ("perf_no_mfs", SignalMode::Performance, false),
+        ("diag_no_mfs", SignalMode::Diagnostic, false),
+        ("perf_mfs", SignalMode::Performance, true),
+        ("diag_mfs", SignalMode::Diagnostic, true),
+    ];
+    for (name, signal, use_mfs) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(signal, use_mfs), |b, &(signal, use_mfs)| {
+            b.iter(|| {
+                let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+                let space = SearchSpace::for_host(&SubsystemId::F.host());
+                let config = SearchConfig::collie(29)
+                    .with_signal(signal)
+                    .with_mfs(use_mfs)
+                    .with_budget(SimDuration::from_secs(3600));
+                black_box(run_search(&mut engine, &space, &config))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_variants);
+criterion_main!(benches);

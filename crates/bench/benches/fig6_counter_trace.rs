@@ -1,0 +1,35 @@
+//! Figure-6 bench: recording and normalising the diagnostic-counter trace
+//! of a campaign, and the per-experiment overhead of trace recording.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use collie_core::engine::WorkloadEngine;
+use collie_core::report::TraceSeries;
+use collie_core::search::{run_search, SearchConfig};
+use collie_core::space::SearchSpace;
+use collie_rnic::subsystems::SubsystemId;
+use collie_sim::time::SimDuration;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("fig6/30min_collie_trace", |b| {
+        b.iter(|| {
+            let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+            let space = SearchSpace::for_host(&SubsystemId::F.host());
+            let config = SearchConfig::collie(31).with_budget(SimDuration::from_secs(1800));
+            let outcome = run_search(&mut engine, &space, &config);
+            black_box(TraceSeries::from_outcome(&outcome))
+        })
+    });
+}
+
+fn bench_trace_normalisation(c: &mut Criterion) {
+    let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+    let space = SearchSpace::for_host(&SubsystemId::F.host());
+    let config = SearchConfig::collie(37).with_budget(SimDuration::from_secs(3600));
+    let outcome = run_search(&mut engine, &space, &config);
+    c.bench_function("fig6/normalise_trace", |b| {
+        b.iter(|| black_box(outcome.trace.normalized()))
+    });
+}
+
+criterion_group!(benches, bench_trace_generation, bench_trace_normalisation);
+criterion_main!(benches);

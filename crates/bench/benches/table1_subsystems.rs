@@ -1,0 +1,30 @@
+//! Table-1 bench: the cost of one baseline experiment on every catalogued
+//! subsystem (A–H). Used to confirm the simulator's per-experiment cost is
+//! uniform across RNIC models and host platforms, so campaign runtimes in
+//! fig4/fig5 are not skewed by one subsystem being slower to simulate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use collie_core::engine::WorkloadEngine;
+use collie_core::space::SearchPoint;
+use collie_rnic::subsystems::SubsystemId;
+
+fn bench_baseline_per_subsystem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/baseline_experiment");
+    for id in SubsystemId::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, &id| {
+            let mut engine = WorkloadEngine::for_catalog(id);
+            let point = SearchPoint::benign();
+            b.iter(|| black_box(engine.measure(black_box(&point))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_subsystem_construction(c: &mut Criterion) {
+    c.bench_function("table1/build_subsystem_f", |b| {
+        b.iter(|| black_box(SubsystemId::F.build()))
+    });
+}
+
+criterion_group!(benches, bench_baseline_per_subsystem, bench_subsystem_construction);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table-2 bench: replaying every catalogued anomaly's concrete trigger.
+//! Measures the cost of one full anomaly replay (measurement + detection)
+//! and of the whole 18-row table regeneration.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use collie_core::catalog::KnownAnomaly;
+use collie_core::engine::WorkloadEngine;
+use collie_core::monitor::AnomalyMonitor;
+
+fn bench_single_anomaly_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/replay");
+    for id in [1u32, 4, 9, 13, 14, 18] {
+        let anomaly = KnownAnomaly::by_id(id).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(id), &anomaly, |b, anomaly| {
+            let mut engine = WorkloadEngine::for_catalog(anomaly.subsystem);
+            let monitor = AnomalyMonitor::new();
+            b.iter(|| black_box(monitor.measure_and_assess(&mut engine, &anomaly.trigger)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_table(c: &mut Criterion) {
+    c.bench_function("table2/all_18_rows", |b| {
+        let monitor = AnomalyMonitor::new();
+        b.iter(|| {
+            let mut reproduced = 0usize;
+            for anomaly in KnownAnomaly::all() {
+                let mut engine = WorkloadEngine::for_catalog(anomaly.subsystem);
+                let (_, verdict) = monitor.measure_and_assess(&mut engine, &anomaly.trigger);
+                if verdict.symptom == Some(anomaly.symptom) {
+                    reproduced += 1;
+                }
+            }
+            black_box(reproduced)
+        })
+    });
+}
+
+criterion_group!(benches, bench_single_anomaly_replay, bench_full_table);
+criterion_main!(benches);

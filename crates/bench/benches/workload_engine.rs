@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the simulator and workload engine themselves: how
+//! fast one "hardware experiment" is evaluated, how fast points are mutated
+//! and translated, and how expensive MFS extraction is. These are the costs
+//! every campaign pays thousands of times, so regressions here directly
+//! stretch the fig4/fig5 harness runtime.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use collie_core::catalog::KnownAnomaly;
+use collie_core::engine::WorkloadEngine;
+use collie_core::monitor::{AnomalyMonitor, MfsExtractor};
+use collie_core::space::{SearchPoint, SearchSpace};
+use collie_rnic::subsystems::SubsystemId;
+use collie_sim::rng::SimRng;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+    let benign = SearchPoint::benign();
+    let anomalous = KnownAnomaly::by_id(10).unwrap().trigger;
+    c.bench_function("evaluate/benign_point", |b| {
+        b.iter(|| black_box(engine.measure(black_box(&benign))))
+    });
+    c.bench_function("evaluate/anomalous_point", |b| {
+        b.iter(|| black_box(engine.measure(black_box(&anomalous))))
+    });
+}
+
+fn bench_space_operations(c: &mut Criterion) {
+    let space = SearchSpace::for_host(&SubsystemId::F.host());
+    let mut rng = SimRng::new(7);
+    let point = space.random_point(&mut rng);
+    c.bench_function("space/random_point", |b| {
+        b.iter(|| black_box(space.random_point(&mut rng)))
+    });
+    c.bench_function("space/mutate", |b| {
+        b.iter(|| black_box(space.mutate(black_box(&point), &mut rng)))
+    });
+    let engine = WorkloadEngine::for_catalog(SubsystemId::F);
+    c.bench_function("engine/translate", |b| {
+        b.iter(|| black_box(engine.translate(black_box(&point))))
+    });
+}
+
+fn bench_mfs_extraction(c: &mut Criterion) {
+    c.bench_function("mfs/extract_anomaly_1", |b| {
+        b.iter(|| {
+            let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+            let monitor = AnomalyMonitor::new();
+            let space = SearchSpace::for_host(&SubsystemId::F.host());
+            let anomaly = KnownAnomaly::by_id(1).unwrap();
+            let mut extractor = MfsExtractor::new(&mut engine, &monitor, &space);
+            black_box(extractor.extract(&anomaly.trigger, anomaly.symptom))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_evaluate,
+    bench_space_operations,
+    bench_mfs_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Shared harness code for the evaluation binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation section has a binary in
+//! `src/bin/` that regenerates it against the simulated subsystems, and a
+//! Criterion bench in `benches/` that measures the cost of the underlying
+//! operation. The binaries print aligned text tables (the same rows the
+//! paper reports) followed by a JSON block so EXPERIMENTS.md and plotting
+//! scripts can consume the numbers directly.
+
+use collie_core::engine::WorkloadEngine;
+use collie_core::search::{run_search, SearchConfig, SearchOutcome};
+use collie_core::space::SearchSpace;
+use collie_rnic::subsystems::SubsystemId;
+
+/// Default seeds used when repeating a campaign for mean/std error bars.
+/// (The paper repeats each search and reports the standard deviation; three
+/// seeds keep the harness runtime reasonable while still producing error
+/// bars.)
+pub const DEFAULT_SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Run the same campaign configuration once per seed on a fresh copy of the
+/// subsystem, in parallel.
+pub fn run_seeded_campaigns(
+    subsystem: SubsystemId,
+    config: &SearchConfig,
+    seeds: &[u64],
+) -> Vec<SearchOutcome> {
+    let mut outcomes: Vec<Option<SearchOutcome>> = Vec::new();
+    outcomes.resize_with(seeds.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (index, &seed) in seeds.iter().enumerate() {
+            let config = SearchConfig {
+                seed,
+                ..config.clone()
+            };
+            handles.push((
+                index,
+                scope.spawn(move |_| {
+                    let mut engine = WorkloadEngine::for_catalog(subsystem);
+                    let space = SearchSpace::for_host(&subsystem.host());
+                    run_search(&mut engine, &space, &config)
+                }),
+            ));
+        }
+        for (index, handle) in handles {
+            outcomes[index] = Some(handle.join().expect("campaign thread panicked"));
+        }
+    })
+    .expect("campaign scope");
+    outcomes.into_iter().map(|o| o.expect("campaign ran")).collect()
+}
+
+/// Render rows of `(label, cells)` as an aligned text table.
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(
+        &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format an optional minute count.
+pub fn fmt_minutes(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.1}"),
+        None => "not found".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collie_sim::time::SimDuration;
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let table = text_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1".to_string()],
+                vec!["longer-name".to_string(), "222".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn seeded_campaigns_run_in_parallel_and_are_independent() {
+        let config = SearchConfig::random(0).with_budget(SimDuration::from_secs(900));
+        let outcomes = run_seeded_campaigns(SubsystemId::F, &config, &[1, 2]);
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.experiments > 0));
+    }
+
+    #[test]
+    fn fmt_minutes_handles_missing() {
+        assert_eq!(fmt_minutes(Some(12.34)), "12.3");
+        assert_eq!(fmt_minutes(None), "not found");
+    }
+}

@@ -1,0 +1,228 @@
+//! Application guidance (§7.3).
+//!
+//! Collie's output is only useful if developers can act on it. The paper
+//! describes two workflows, both reproduced here:
+//!
+//! * **Anomaly prevention** — before an application is built, restrict the
+//!   search space to the workloads the application could possibly generate
+//!   and report which anomalies remain reachable, together with the
+//!   condition the developers should design around (the RPC-library case
+//!   study).
+//! * **Debugging / bypassing** — when a deployed application hits an
+//!   anomaly, describe its workload as a search point, match it against the
+//!   known MFS set, and suggest which necessary condition to break while
+//!   waiting for a vendor fix (the BytePS / DML case study).
+
+use crate::catalog::KnownAnomaly;
+use crate::monitor::{FeatureCondition, Mfs};
+use crate::space::{Feature, SearchPoint, SpaceRestriction};
+use collie_rnic::subsystems::SubsystemId;
+use serde::{Deserialize, Serialize};
+
+/// A recommendation produced by the advisor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suggestion {
+    /// Which anomaly the suggestion is about (paper id when known).
+    pub anomaly: String,
+    /// The matched necessary conditions, human readable.
+    pub matched_conditions: Vec<String>,
+    /// What to change to break the trigger.
+    pub recommendation: String,
+}
+
+/// Matches applications and design envelopes against known anomalies.
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    /// The catalogued anomalies of the subsystem under consideration.
+    pub known: Vec<KnownAnomaly>,
+    /// MFSes discovered by search campaigns (may overlap with the catalog).
+    pub discovered: Vec<Mfs>,
+}
+
+impl Advisor {
+    /// An advisor armed with the catalogued anomalies of `subsystem`.
+    pub fn for_subsystem(subsystem: SubsystemId) -> Advisor {
+        Advisor {
+            known: KnownAnomaly::for_subsystem(subsystem),
+            discovered: Vec::new(),
+        }
+    }
+
+    /// Add MFSes discovered by a search campaign.
+    pub fn with_discovered(mut self, discovered: Vec<Mfs>) -> Advisor {
+        self.discovered = discovered;
+        self
+    }
+
+    /// Anomaly-prevention workflow: which catalogued anomalies could an
+    /// application whose workloads stay inside `restriction` still trigger?
+    pub fn reachable_anomalies(&self, restriction: &SpaceRestriction) -> Vec<&KnownAnomaly> {
+        self.known
+            .iter()
+            .filter(|a| restriction.allows(&a.trigger))
+            .collect()
+    }
+
+    /// Anomaly-prevention workflow, with advice: for every reachable
+    /// anomaly, spell out the design constraint that avoids it.
+    pub fn prevention_report(&self, restriction: &SpaceRestriction) -> Vec<Suggestion> {
+        self.reachable_anomalies(restriction)
+            .into_iter()
+            .map(|a| Suggestion {
+                anomaly: format!("#{} ({})", a.id, a.symptom),
+                matched_conditions: a.conditions.clone(),
+                recommendation: format!(
+                    "design the application so that at least one of these conditions can never \
+                     hold: {}",
+                    a.conditions.join("; ")
+                ),
+            })
+            .collect()
+    }
+
+    /// Debugging workflow: match a running application's workload against
+    /// the discovered MFS set (and the catalog) and suggest which condition
+    /// to break.
+    pub fn diagnose(&self, workload: &SearchPoint) -> Vec<Suggestion> {
+        let mut suggestions = Vec::new();
+
+        for mfs in &self.discovered {
+            // An MFS with no recorded conditions matches every workload and
+            // offers nothing to break; it carries no diagnostic value.
+            if mfs.is_empty() {
+                continue;
+            }
+            if mfs.matches(workload) {
+                let conditions: Vec<String> = mfs
+                    .conditions
+                    .iter()
+                    .map(|(f, c)| format!("{f} {c}"))
+                    .collect();
+                suggestions.push(Suggestion {
+                    anomaly: format!("discovered anomaly ({})", mfs.symptom),
+                    matched_conditions: conditions.clone(),
+                    recommendation: recommend_break(&mfs.conditions_iter().collect::<Vec<_>>()),
+                });
+            }
+        }
+        for known in &self.known {
+            if Self::workload_resembles(known, workload) {
+                suggestions.push(Suggestion {
+                    anomaly: format!("#{} ({})", known.id, known.symptom),
+                    matched_conditions: known.conditions.clone(),
+                    recommendation: format!(
+                        "change the workload so that one of these no longer holds: {}",
+                        known.conditions.join("; ")
+                    ),
+                });
+            }
+        }
+        suggestions
+    }
+
+    /// Conservative resemblance check between an application workload and a
+    /// catalogued trigger: same transport/opcode family and the same
+    /// qualitative traffic layout.
+    fn workload_resembles(known: &KnownAnomaly, workload: &SearchPoint) -> bool {
+        let t = &known.trigger;
+        t.transport == workload.transport
+            && t.opcode == workload.opcode
+            && t.bidirectional == workload.bidirectional
+            && t.with_loopback == workload.with_loopback
+            && workload.num_qps * 2 >= t.num_qps
+            && workload.wqe_batch * 2 >= t.wqe_batch
+            && workload.sge_per_wqe >= t.sge_per_wqe
+    }
+}
+
+impl Mfs {
+    fn conditions_iter(&self) -> impl Iterator<Item = (&Feature, &FeatureCondition)> {
+        self.conditions.iter()
+    }
+}
+
+fn recommend_break(conditions: &[(&Feature, &FeatureCondition)]) -> String {
+    // Prefer suggesting the easiest knob to change: batching and queue
+    // depths first, then message pattern, then transport.
+    let priority = |f: &Feature| match f {
+        Feature::WqeBatch | Feature::SendQueueDepth | Feature::RecvQueueDepth => 0,
+        Feature::MessagePattern | Feature::SgePerWqe => 1,
+        Feature::NumQps | Feature::MrsPerQp | Feature::MrSize => 2,
+        Feature::Mtu => 3,
+        Feature::SrcMemory | Feature::DstMemory | Feature::Loopback | Feature::Bidirectional => 4,
+        Feature::Transport | Feature::Opcode => 5,
+    };
+    let mut sorted: Vec<_> = conditions.to_vec();
+    sorted.sort_by_key(|(f, _)| priority(f));
+    match sorted.first() {
+        Some((feature, condition)) => format!(
+            "break the '{feature} {condition}' condition (the cheapest of the matched \
+             conditions to change)"
+        ),
+        None => "no necessary condition recorded".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collie_rnic::workload::{Opcode, Transport};
+
+    #[test]
+    fn rpc_restriction_still_reaches_read_and_send_anomalies() {
+        let advisor = Advisor::for_subsystem(SubsystemId::F);
+        let restriction = SpaceRestriction::rpc_library();
+        let reachable: Vec<u32> = advisor
+            .reachable_anomalies(&restriction)
+            .iter()
+            .map(|a| a.id)
+            .collect();
+        // The paper's §7.3 case study: the RC-only RPC library can still hit
+        // the bidirectional READ anomaly (#4) and the RC SEND anomaly (#5).
+        assert!(reachable.contains(&4), "reachable = {reachable:?}");
+        assert!(reachable.contains(&5), "reachable = {reachable:?}");
+        // UD-only anomalies are out of reach for an RC-only library.
+        assert!(!reachable.contains(&1));
+        assert!(!reachable.contains(&2));
+        // Loopback and GPU anomalies are excluded by the envelope.
+        assert!(!reachable.contains(&13));
+        assert!(!reachable.contains(&12));
+        let report = advisor.prevention_report(&restriction);
+        assert_eq!(report.len(), reachable.len());
+        assert!(report.iter().all(|s| !s.recommendation.is_empty()));
+    }
+
+    #[test]
+    fn dml_workload_matches_anomaly_9_and_gets_a_bypass_suggestion() {
+        let advisor = Advisor::for_subsystem(SubsystemId::F);
+        // The BytePS-style workload of §2.2/§7.3: bidirectional RC WRITE
+        // with a long SG list mixing tensor payloads and small metadata.
+        let mut workload = SearchPoint::benign();
+        workload.transport = Transport::Rc;
+        workload.opcode = Opcode::Write;
+        workload.bidirectional = true;
+        workload.num_qps = 8;
+        workload.sge_per_wqe = 3;
+        workload.wqe_batch = 8;
+        workload.messages = vec![128, 64 * 1024, 1024];
+        let suggestions = advisor.diagnose(&workload);
+        assert!(
+            suggestions.iter().any(|s| s.anomaly.starts_with("#9")),
+            "{suggestions:?}"
+        );
+    }
+
+    #[test]
+    fn benign_workload_gets_no_suggestions() {
+        let advisor = Advisor::for_subsystem(SubsystemId::F);
+        let suggestions = advisor.diagnose(&SearchPoint::benign());
+        assert!(suggestions.is_empty(), "{suggestions:?}");
+    }
+
+    #[test]
+    fn unrestricted_envelope_reaches_every_catalogued_anomaly_of_f() {
+        let advisor = Advisor::for_subsystem(SubsystemId::F);
+        let reachable = advisor.reachable_anomalies(&SpaceRestriction::unrestricted());
+        assert_eq!(reachable.len(), 13);
+    }
+}

@@ -1,0 +1,393 @@
+//! Ground-truth anomaly catalog (Table 2 / Appendix A).
+//!
+//! The paper evaluates Collie against a fixed set of anomalies: three that
+//! were already known from production and fifteen new ones, each with the
+//! necessary trigger conditions of Table 2 and a simplified concrete
+//! trigger setting in Appendix A. This module encodes all eighteen —
+//! including the concrete settings — so that:
+//!
+//! * the `table2` harness can replay every anomaly and verify the modelled
+//!   subsystem reproduces its symptom (and stops reproducing it when a
+//!   necessary condition is broken), and
+//! * search campaigns can be scored by which catalogued anomalies they
+//!   discovered (the y-axes of Figures 4 and 5).
+//!
+//! The catalog is evaluation-side ground truth. The search itself never
+//! reads it.
+
+use crate::monitor::Symptom;
+use crate::space::SearchPoint;
+use collie_host::memory::MemoryTarget;
+use collie_rnic::subsystems::SubsystemId;
+use collie_rnic::workload::{Opcode, Transport};
+use serde::{Deserialize, Serialize};
+
+/// One catalogued anomaly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnownAnomaly {
+    /// Paper numbering (1–18).
+    pub id: u32,
+    /// The ground-truth rule identifier used by the subsystem model
+    /// (`collie/<id>`).
+    pub rule: String,
+    /// Whether the anomaly was known before Collie (the three "old"
+    /// anomalies #9, #12, #13) or newly found by it.
+    pub new: bool,
+    /// The Table-1 subsystem it is reported on (F for the ConnectX-6
+    /// anomalies, H for the Broadcom ones).
+    pub subsystem: SubsystemId,
+    /// The observed symptom.
+    pub symptom: Symptom,
+    /// The necessary-conditions column of Table 2, as human-readable text.
+    pub conditions: Vec<String>,
+    /// The simplified concrete trigger setting of Appendix A.
+    pub trigger: SearchPoint,
+}
+
+impl KnownAnomaly {
+    /// All eighteen anomalies, in paper order.
+    pub fn all() -> Vec<KnownAnomaly> {
+        vec![
+            // ---- Subsystem F (ConnectX-6) ------------------------------
+            anomaly(1, true, SubsystemId::F, Symptom::PauseStorm,
+                &["UD SEND", "WQE batch >= 64", "work queue >= 256"],
+                |p| {
+                    p.transport = Transport::Ud;
+                    p.opcode = Opcode::Send;
+                    p.num_qps = 1;
+                    p.wqe_batch = 64;
+                    p.send_queue_depth = 256;
+                    p.recv_queue_depth = 256;
+                    p.mtu = 2048;
+                    p.messages = vec![2048];
+                }),
+            anomaly(2, true, SubsystemId::F, Symptom::LowThroughput,
+                &["UD SEND", "WQE batch <= 8", "work queue >= 1024", "messages <= 1KB", ">= 16 QPs"],
+                |p| {
+                    p.transport = Transport::Ud;
+                    p.opcode = Opcode::Send;
+                    p.num_qps = 16;
+                    p.wqe_batch = 4;
+                    p.send_queue_depth = 1024;
+                    p.recv_queue_depth = 1024;
+                    p.mtu = 1024;
+                    p.messages = vec![1024];
+                }),
+            anomaly(3, true, SubsystemId::F, Symptom::PauseStorm,
+                &["RC READ", "MTU <= 1024", "messages >= 16KB"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Read;
+                    p.num_qps = 8;
+                    p.mr_size_bytes = 4 * 1024 * 1024;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 1024;
+                    p.wqe_batch = 1;
+                    p.messages = vec![4 * 1024 * 1024];
+                }),
+            anomaly(4, true, SubsystemId::F, Symptom::PauseStorm,
+                &["bidirectional RC READ", "WQE batch >= 32", "SG list >= 4", ">= ~160 QPs"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Read;
+                    p.bidirectional = true;
+                    p.num_qps = 80;
+                    p.wqe_batch = 128;
+                    p.sge_per_wqe = 4;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 4096;
+                    p.messages = vec![128];
+                }),
+            anomaly(5, true, SubsystemId::F, Symptom::PauseStorm,
+                &["RC SEND", "MTU <= 1024", "WQE batch >= 64", "work queue >= 1024", "messages 2KB..8KB"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Send;
+                    p.num_qps = 1;
+                    p.wqe_batch = 64;
+                    p.sge_per_wqe = 2;
+                    p.send_queue_depth = 1024;
+                    p.recv_queue_depth = 1024;
+                    p.mtu = 1024;
+                    p.messages = vec![2048];
+                }),
+            anomaly(6, true, SubsystemId::F, Symptom::LowThroughput,
+                &["RC SEND", "MTU <= 1024", "WQE batch <= 16", "SG list >= 2", "work queue >= 1024", "messages <= 1KB", ">= ~32 QPs"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Send;
+                    p.num_qps = 32;
+                    p.wqe_batch = 8;
+                    p.sge_per_wqe = 2;
+                    p.send_queue_depth = 1024;
+                    p.recv_queue_depth = 1024;
+                    p.mtu = 1024;
+                    p.messages = vec![1024];
+                }),
+            anomaly(7, true, SubsystemId::F, Symptom::LowThroughput,
+                &["RC WRITE", "no WQE batching", "messages <= 1KB", "work queue <= 16", ">= ~480 QPs"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Write;
+                    p.num_qps = 480;
+                    p.wqe_batch = 1;
+                    p.send_queue_depth = 16;
+                    p.recv_queue_depth = 16;
+                    p.mtu = 1024;
+                    p.messages = vec![512];
+                }),
+            anomaly(8, true, SubsystemId::F, Symptom::LowThroughput,
+                &["RC WRITE", "no WQE batching", "messages <= 1KB", ">= ~12K MRs"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Write;
+                    p.num_qps = 32;
+                    p.mrs_per_qp = 1024;
+                    p.wqe_batch = 1;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 1024;
+                    p.messages = vec![512];
+                }),
+            anomaly(9, false, SubsystemId::F, Symptom::PauseStorm,
+                &["bidirectional", "SG list >= 3", "mix of <=1KB and >=64KB messages", "strict-ordering PCIe host"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Write;
+                    p.bidirectional = true;
+                    p.num_qps = 8;
+                    p.mr_size_bytes = 4 * 1024 * 1024;
+                    p.wqe_batch = 8;
+                    p.sge_per_wqe = 3;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 4096;
+                    p.messages = vec![128, 64 * 1024, 1024];
+                }),
+            anomaly(10, true, SubsystemId::F, Symptom::PauseStorm,
+                &["bidirectional RC WRITE", "WQE batch >= 64", "mix of <=1KB and >=64KB messages", ">= ~320 QPs"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Write;
+                    p.bidirectional = true;
+                    p.num_qps = 320;
+                    p.wqe_batch = 64;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 1024;
+                    p.messages = vec![64 * 1024, 128, 128, 128];
+                }),
+            anomaly(11, true, SubsystemId::F, Symptom::PauseStorm,
+                &["bidirectional", "cross-socket source/destination memory", "chiplet-based server"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Write;
+                    p.bidirectional = true;
+                    p.num_qps = 1;
+                    p.mrs_per_qp = 32;
+                    p.mr_size_bytes = 4 * 1024 * 1024;
+                    p.wqe_batch = 16;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 4096;
+                    p.messages = vec![256 * 1024];
+                    p.dst_memory = MemoryTarget::HostDram { numa_node: 1 };
+                }),
+            anomaly(12, false, SubsystemId::F, Symptom::PauseStorm,
+                &["GPU-Direct RDMA", "peer-to-peer path detoured through the root complex"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Write;
+                    p.bidirectional = true;
+                    p.num_qps = 8;
+                    p.mr_size_bytes = 4 * 1024 * 1024;
+                    p.wqe_batch = 8;
+                    p.sge_per_wqe = 3;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 4096;
+                    p.messages = vec![128, 64 * 1024, 1024];
+                    p.src_memory = MemoryTarget::GpuMemory { gpu_id: 0 };
+                    p.dst_memory = MemoryTarget::GpuMemory { gpu_id: 0 };
+                }),
+            anomaly(13, false, SubsystemId::F, Symptom::PauseStorm,
+                &["loopback traffic co-existing with receive traffic"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Write;
+                    p.with_loopback = true;
+                    p.num_qps = 8;
+                    p.mrs_per_qp = 32;
+                    p.mr_size_bytes = 4 * 1024 * 1024;
+                    p.wqe_batch = 16;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 4096;
+                    p.messages = vec![256 * 1024];
+                }),
+            // ---- Subsystem H (Broadcom P2100G) -------------------------
+            anomaly(14, true, SubsystemId::H, Symptom::LowThroughput,
+                &["bidirectional RC", "MTU = 4096", "SG list >= 4", ">= ~1300 QPs"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Write;
+                    p.bidirectional = true;
+                    p.num_qps = 1024;
+                    p.mrs_per_qp = 32;
+                    p.mr_size_bytes = 256 * 1024;
+                    p.wqe_batch = 1;
+                    p.sge_per_wqe = 4;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 4096;
+                    p.messages = vec![64 * 1024];
+                }),
+            anomaly(15, true, SubsystemId::H, Symptom::PauseStorm,
+                &["UD SEND", "work queue >= 64", ">= ~32 QPs"],
+                |p| {
+                    p.transport = Transport::Ud;
+                    p.opcode = Opcode::Send;
+                    p.num_qps = 32;
+                    p.mr_size_bytes = 4 * 1024;
+                    p.wqe_batch = 1;
+                    p.send_queue_depth = 64;
+                    p.recv_queue_depth = 64;
+                    p.mtu = 2048;
+                    p.messages = vec![256, 1024, 64, 1024];
+                }),
+            anomaly(16, true, SubsystemId::H, Symptom::PauseStorm,
+                &["RC READ", "MTU <= 1024", "WQE batch >= 8", ">= ~500 QPs"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Read;
+                    p.num_qps = 512;
+                    p.mr_size_bytes = 256 * 1024;
+                    p.wqe_batch = 8;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 1024;
+                    p.messages = vec![64 * 1024];
+                }),
+            anomaly(17, true, SubsystemId::H, Symptom::PauseStorm,
+                &["RC SEND", "WQE batch <= 16", "work queue >= 128", "messages <= 1KB", ">= ~64 QPs"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Send;
+                    p.num_qps = 80;
+                    p.mr_size_bytes = 1024 * 1024;
+                    p.wqe_batch = 1;
+                    p.send_queue_depth = 128;
+                    p.recv_queue_depth = 128;
+                    p.mtu = 1024;
+                    p.messages = vec![1024];
+                }),
+            anomaly(18, true, SubsystemId::H, Symptom::PauseStorm,
+                &["bidirectional RC WRITE", "MTU <= 1024", "WQE batch >= 16", "messages <= 64KB", ">= ~30 QPs"],
+                |p| {
+                    p.transport = Transport::Rc;
+                    p.opcode = Opcode::Write;
+                    p.bidirectional = true;
+                    p.num_qps = 16;
+                    p.mr_size_bytes = 16 * 1024;
+                    p.wqe_batch = 16;
+                    p.send_queue_depth = 64;
+                    p.recv_queue_depth = 64;
+                    p.mtu = 1024;
+                    p.messages = vec![64 * 1024];
+                }),
+        ]
+    }
+
+    /// The anomalies reported on one subsystem.
+    pub fn for_subsystem(id: SubsystemId) -> Vec<KnownAnomaly> {
+        KnownAnomaly::all()
+            .into_iter()
+            .filter(|a| a.subsystem == id)
+            .collect()
+    }
+
+    /// Look up an anomaly by its paper number.
+    pub fn by_id(id: u32) -> Option<KnownAnomaly> {
+        KnownAnomaly::all().into_iter().find(|a| a.id == id)
+    }
+}
+
+fn anomaly(
+    id: u32,
+    new: bool,
+    subsystem: SubsystemId,
+    symptom: Symptom,
+    conditions: &[&str],
+    configure: impl FnOnce(&mut SearchPoint),
+) -> KnownAnomaly {
+    let mut trigger = SearchPoint::benign();
+    configure(&mut trigger);
+    KnownAnomaly {
+        id,
+        rule: format!("collie/{id}"),
+        new,
+        subsystem,
+        symptom,
+        conditions: conditions.iter().map(|s| s.to_string()).collect(),
+        trigger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorkloadEngine;
+    use crate::monitor::AnomalyMonitor;
+
+    #[test]
+    fn catalog_has_eighteen_entries_with_consistent_metadata() {
+        let all = KnownAnomaly::all();
+        assert_eq!(all.len(), 18);
+        for (i, a) in all.iter().enumerate() {
+            assert_eq!(a.id as usize, i + 1);
+            assert_eq!(a.rule, format!("collie/{}", a.id));
+            assert!(!a.conditions.is_empty());
+        }
+        assert_eq!(KnownAnomaly::for_subsystem(SubsystemId::F).len(), 13);
+        assert_eq!(KnownAnomaly::for_subsystem(SubsystemId::H).len(), 5);
+        // The three previously known anomalies are #9, #12, #13.
+        let old: Vec<u32> = all.iter().filter(|a| !a.new).map(|a| a.id).collect();
+        assert_eq!(old, vec![9, 12, 13]);
+    }
+
+    #[test]
+    fn every_concrete_trigger_reproduces_its_anomaly() {
+        let monitor = AnomalyMonitor::new();
+        for a in KnownAnomaly::all() {
+            let mut engine = WorkloadEngine::for_catalog(a.subsystem);
+            let (_, verdict) = monitor.measure_and_assess(&mut engine, &a.trigger);
+            assert_eq!(
+                verdict.symptom,
+                Some(a.symptom),
+                "anomaly #{} should reproduce with symptom {:?}, got {:?} (pause {:.4}, spec {:.2})",
+                a.id,
+                a.symptom,
+                verdict.symptom,
+                verdict.pause_ratio,
+                verdict.spec_fraction
+            );
+            let rules = engine.ground_truth(&a.trigger);
+            assert!(
+                rules.contains(&a.rule.as_str()),
+                "anomaly #{}: ground truth {:?} does not include {}",
+                a.id,
+                rules,
+                a.rule
+            );
+        }
+    }
+
+    #[test]
+    fn by_id_lookup() {
+        assert_eq!(KnownAnomaly::by_id(4).unwrap().subsystem, SubsystemId::F);
+        assert_eq!(KnownAnomaly::by_id(15).unwrap().subsystem, SubsystemId::H);
+        assert!(KnownAnomaly::by_id(99).is_none());
+    }
+}

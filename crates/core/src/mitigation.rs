@@ -1,0 +1,428 @@
+//! Mitigations and bypasses for the catalogued anomalies.
+//!
+//! Section 7.1 of the paper reports that, of the eighteen anomalies, seven
+//! were fixed after they were reported — "by firmware upgrade or detailed
+//! configuration following our vendors' instructions" — and the rest have
+//! to be *bypassed* by changing the application workload until a fix exists
+//! (§7.3). Appendix A records what each fix was:
+//!
+//! | anomaly | fix |
+//! |---|---|
+//! | #3  | raise the deployment MTU from 1500 (1024 RDMA) to 4200 (4096 RDMA) |
+//! | #9  | configure the RNIC as a forced relaxed-ordering PCIe device |
+//! | #10 | vendor firmware release fixing the shared bidirectional packet-processing stage |
+//! | #11 | install one NIC per socket so traffic never crosses the socket interconnect |
+//! | #12 | correct the PCIe bridge ACS configuration so GPU P2P traffic is not detoured through the root complex |
+//! | #17 | configure specific vendor registers on the Broadcom RNIC |
+//! | #18 | same register configuration as #17 |
+//!
+//! Anomalies #1, #2, #4–#8 and #13–#16 had no fix at publication time; the
+//! workload has to avoid them (e.g. #13 is bypassed by moving collocated
+//! traffic to shared memory instead of RDMA loopback).
+//!
+//! [`Mitigation`] encodes both kinds: subsystem-side changes are applied to
+//! a [`Subsystem`] (firmware flags, PCIe/BIOS settings), workload-side
+//! bypasses are applied to a [`SearchPoint`]. The `mitigation_fixes`
+//! example and the `tests/mitigations.rs` integration tests demonstrate the
+//! before/after behaviour for every entry of the table above.
+
+use crate::catalog::KnownAnomaly;
+use crate::space::SearchPoint;
+use collie_host::memory::MemoryTarget;
+use collie_rnic::subsystem::Subsystem;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a mitigation is deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MitigationKind {
+    /// A BIOS / PCIe / NIC-register configuration change on the servers.
+    SubsystemConfiguration,
+    /// A firmware upgrade of the RNIC.
+    FirmwareUpgrade,
+    /// A hardware change (e.g. installing one NIC per socket).
+    HardwareChange,
+    /// A change to the application workload (a bypass, not a fix).
+    WorkloadChange,
+}
+
+impl fmt::Display for MitigationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MitigationKind::SubsystemConfiguration => write!(f, "configuration"),
+            MitigationKind::FirmwareUpgrade => write!(f, "firmware upgrade"),
+            MitigationKind::HardwareChange => write!(f, "hardware change"),
+            MitigationKind::WorkloadChange => write!(f, "workload change"),
+        }
+    }
+}
+
+/// One documented fix or bypass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mitigation {
+    /// Raise the deployment MTU so the RDMA path MTU becomes 4096 (the fix
+    /// for Anomaly #3: small MTUs trigger the 200 Gbps packet-processing
+    /// bottleneck on large READs).
+    RaiseMtu,
+    /// Configure the RNIC as a forced relaxed-ordering PCIe device (the fix
+    /// for Anomaly #9).
+    ForceRelaxedOrdering,
+    /// Apply the vendor firmware release that fixes the shared
+    /// bidirectional packet-processing stage (the fix for Anomaly #10).
+    FirmwareBidirFix,
+    /// Install one NIC per socket and keep each NIC's traffic on its local
+    /// socket (the fix for Anomaly #11). Modelled as pinning every memory
+    /// target to the RNIC-local NUMA node.
+    NicPerSocket,
+    /// Correct the PCIe bridge ACS configuration so GPU peer-to-peer
+    /// traffic no longer detours through the root complex (the fix for
+    /// Anomaly #12).
+    FixAcsConfiguration,
+    /// Configure the vendor-specified RNIC registers (the fix for the
+    /// Broadcom Anomalies #17 and #18).
+    VendorRegisterFix,
+    /// Use a different IPC mechanism (e.g. shared memory) for collocated
+    /// peers instead of RDMA loopback (the bypass for Anomaly #13 — not
+    /// considered a fix by the paper).
+    AvoidLoopbackViaIpc,
+    /// Hypothetical NIC-side loopback rate limiter ("we are glad to see
+    /// that some latest RNICs have done so", Appendix A) — an alternative
+    /// mitigation for Anomaly #13 on newer silicon.
+    LoopbackRateLimiter,
+}
+
+impl Mitigation {
+    /// Every mitigation, in a stable order.
+    pub const ALL: [Mitigation; 8] = [
+        Mitigation::RaiseMtu,
+        Mitigation::ForceRelaxedOrdering,
+        Mitigation::FirmwareBidirFix,
+        Mitigation::NicPerSocket,
+        Mitigation::FixAcsConfiguration,
+        Mitigation::VendorRegisterFix,
+        Mitigation::AvoidLoopbackViaIpc,
+        Mitigation::LoopbackRateLimiter,
+    ];
+
+    /// The paper anomaly numbers this mitigation addresses.
+    pub fn fixes(self) -> &'static [u32] {
+        match self {
+            Mitigation::RaiseMtu => &[3],
+            Mitigation::ForceRelaxedOrdering => &[9],
+            Mitigation::FirmwareBidirFix => &[10],
+            Mitigation::NicPerSocket => &[11],
+            Mitigation::FixAcsConfiguration => &[12],
+            Mitigation::VendorRegisterFix => &[17, 18],
+            Mitigation::AvoidLoopbackViaIpc | Mitigation::LoopbackRateLimiter => &[13],
+        }
+    }
+
+    /// How the mitigation is deployed.
+    pub fn kind(self) -> MitigationKind {
+        match self {
+            Mitigation::RaiseMtu
+            | Mitigation::ForceRelaxedOrdering
+            | Mitigation::FixAcsConfiguration
+            | Mitigation::VendorRegisterFix => MitigationKind::SubsystemConfiguration,
+            Mitigation::FirmwareBidirFix | Mitigation::LoopbackRateLimiter => {
+                MitigationKind::FirmwareUpgrade
+            }
+            Mitigation::NicPerSocket => MitigationKind::HardwareChange,
+            Mitigation::AvoidLoopbackViaIpc => MitigationKind::WorkloadChange,
+        }
+    }
+
+    /// Whether the paper counts this as one of the seven anomalies that were
+    /// actually fixed (as opposed to bypassed or still open).
+    pub fn counted_as_fixed(self) -> bool {
+        !matches!(
+            self,
+            Mitigation::AvoidLoopbackViaIpc | Mitigation::LoopbackRateLimiter
+        )
+    }
+
+    /// The documented mitigations for one anomaly (empty if the paper
+    /// reports no fix and no workload bypass beyond "avoid the MFS").
+    pub fn for_anomaly(id: u32) -> Vec<Mitigation> {
+        Mitigation::ALL
+            .into_iter()
+            .filter(|m| m.fixes().contains(&id))
+            .collect()
+    }
+
+    /// The anomaly numbers the paper reports as fixed after disclosure.
+    pub fn paper_fixed_anomalies() -> Vec<u32> {
+        let mut fixed: Vec<u32> = Mitigation::ALL
+            .into_iter()
+            .filter(|m| m.counted_as_fixed())
+            .flat_map(|m| m.fixes().iter().copied())
+            .collect();
+        fixed.sort_unstable();
+        fixed.dedup();
+        fixed
+    }
+
+    /// Apply the mitigation to the subsystem under test (firmware flags,
+    /// PCIe/BIOS settings, NIC registers). Workload-side mitigations leave
+    /// the subsystem untouched.
+    pub fn apply_to_subsystem(self, subsystem: &mut Subsystem) {
+        match self {
+            Mitigation::ForceRelaxedOrdering => {
+                subsystem.host_a.pcie_settings.relaxed_ordering = true;
+                subsystem.host_b.pcie_settings.relaxed_ordering = true;
+            }
+            Mitigation::FixAcsConfiguration => {
+                subsystem.host_a.pcie_settings.acs_redirect_p2p = false;
+                subsystem.host_b.pcie_settings.acs_redirect_p2p = false;
+            }
+            Mitigation::FirmwareBidirFix => {
+                subsystem.rnic.firmware_bidir_fix = true;
+            }
+            Mitigation::VendorRegisterFix => {
+                subsystem.rnic.vendor_register_fix = true;
+            }
+            Mitigation::LoopbackRateLimiter => {
+                subsystem.rnic.loopback_rate_limited = true;
+            }
+            // Deployment-MTU, NIC-per-socket, and IPC changes act on the
+            // workload description, not the subsystem model.
+            Mitigation::RaiseMtu | Mitigation::NicPerSocket | Mitigation::AvoidLoopbackViaIpc => {}
+        }
+    }
+
+    /// Apply the mitigation to a workload description (the bypass half:
+    /// what an application developer changes). Subsystem-side mitigations
+    /// leave the workload untouched.
+    pub fn apply_to_workload(self, point: &mut SearchPoint) {
+        match self {
+            Mitigation::RaiseMtu => {
+                point.mtu = 4096;
+            }
+            Mitigation::NicPerSocket => {
+                // With one NIC per socket every flow can use NIC-local DRAM.
+                if !point.src_memory.is_gpu() {
+                    point.src_memory = MemoryTarget::local_dram();
+                }
+                if !point.dst_memory.is_gpu() {
+                    point.dst_memory = MemoryTarget::local_dram();
+                }
+            }
+            Mitigation::AvoidLoopbackViaIpc => {
+                point.with_loopback = false;
+            }
+            Mitigation::ForceRelaxedOrdering
+            | Mitigation::FirmwareBidirFix
+            | Mitigation::FixAcsConfiguration
+            | Mitigation::VendorRegisterFix
+            | Mitigation::LoopbackRateLimiter => {}
+        }
+    }
+
+    /// One-line operator-facing description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Mitigation::RaiseMtu => {
+                "raise the deployment MTU to 4200 so the RDMA path MTU becomes 4096"
+            }
+            Mitigation::ForceRelaxedOrdering => {
+                "configure the RNIC as a forced relaxed-ordering PCIe device"
+            }
+            Mitigation::FirmwareBidirFix => {
+                "apply the vendor firmware release fixing the shared bidirectional packet-processing stage"
+            }
+            Mitigation::NicPerSocket => {
+                "install one NIC per socket and keep traffic on the NIC-local socket"
+            }
+            Mitigation::FixAcsConfiguration => {
+                "correct the PCIe bridge ACS configuration so GPU peer-to-peer DMA is switched locally"
+            }
+            Mitigation::VendorRegisterFix => {
+                "configure the vendor-specified RNIC registers"
+            }
+            Mitigation::AvoidLoopbackViaIpc => {
+                "move collocated worker/server communication to shared memory instead of RDMA loopback"
+            }
+            Mitigation::LoopbackRateLimiter => {
+                "use an RNIC generation that rate-limits loopback traffic"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Mitigation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.description(), self.kind())
+    }
+}
+
+/// A remediation plan for one anomaly: the anomaly plus every documented
+/// mitigation, in the order an operator would try them (fixes before
+/// bypasses).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemediationPlan {
+    /// The anomaly being remediated.
+    pub anomaly_id: u32,
+    /// Mitigations, fixes first.
+    pub mitigations: Vec<Mitigation>,
+}
+
+impl RemediationPlan {
+    /// Build the plan for one catalogued anomaly.
+    pub fn for_anomaly(anomaly: &KnownAnomaly) -> RemediationPlan {
+        let mut mitigations = Mitigation::for_anomaly(anomaly.id);
+        mitigations.sort_by_key(|m| !m.counted_as_fixed());
+        RemediationPlan {
+            anomaly_id: anomaly.id,
+            mitigations,
+        }
+    }
+
+    /// True if the paper reports a real fix (not just a bypass).
+    pub fn has_fix(&self) -> bool {
+        self.mitigations.iter().any(|m| m.counted_as_fixed())
+    }
+
+    /// Apply every subsystem-side mitigation of the plan.
+    pub fn apply_subsystem_side(&self, subsystem: &mut Subsystem) {
+        for m in &self.mitigations {
+            m.apply_to_subsystem(subsystem);
+        }
+    }
+
+    /// Apply every workload-side mitigation of the plan.
+    pub fn apply_workload_side(&self, point: &mut SearchPoint) {
+        for m in &self.mitigations {
+            m.apply_to_workload(point);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorkloadEngine;
+    use crate::monitor::AnomalyMonitor;
+
+    fn is_anomalous(engine: &mut WorkloadEngine, point: &SearchPoint) -> bool {
+        let monitor = AnomalyMonitor::new();
+        let (_, verdict) = monitor.measure_and_assess(engine, point);
+        verdict.is_anomalous()
+    }
+
+    #[test]
+    fn seven_anomalies_are_counted_as_fixed() {
+        let fixed = Mitigation::paper_fixed_anomalies();
+        assert_eq!(fixed, vec![3, 9, 10, 11, 12, 17, 18]);
+        assert_eq!(fixed.len(), 7, "the paper reports 7 fixed anomalies");
+    }
+
+    #[test]
+    fn every_fixed_anomaly_stops_mapping_to_its_rule_after_its_mitigation() {
+        // Rule-level check: after the documented fix for anomaly #N, the
+        // trigger no longer maps to rule collie/N. (End-to-end health is
+        // checked in tests/mitigations.rs with the full remediation set,
+        // because some triggers — notably #12's — also fall into a second,
+        // separately-fixed anomaly.)
+        for id in Mitigation::paper_fixed_anomalies() {
+            let anomaly = KnownAnomaly::by_id(id).expect("catalogued anomaly");
+            let plan = RemediationPlan::for_anomaly(&anomaly);
+            assert!(plan.has_fix(), "#{id} should have a real fix");
+
+            let mut engine = WorkloadEngine::for_catalog(anomaly.subsystem);
+            assert!(
+                is_anomalous(&mut engine, &anomaly.trigger),
+                "#{id} should trigger before the fix"
+            );
+            assert!(engine
+                .ground_truth(&anomaly.trigger)
+                .iter()
+                .any(|r| *r == anomaly.rule));
+
+            plan.apply_subsystem_side(engine.subsystem_mut());
+            let mut workload = anomaly.trigger.clone();
+            plan.apply_workload_side(&mut workload);
+            let rules = engine.ground_truth(&workload);
+            assert!(
+                !rules.iter().any(|r| *r == anomaly.rule),
+                "#{id} should no longer map to {} after {:?}, still maps to {rules:?}",
+                anomaly.rule,
+                plan.mitigations
+            );
+        }
+    }
+
+    #[test]
+    fn loopback_bypass_clears_anomaly_13_and_the_rate_limiter_removes_its_rule() {
+        let anomaly = KnownAnomaly::by_id(13).unwrap();
+
+        // Workload-side bypass: stop using RDMA loopback → healthy end to
+        // end (this is what the paper's deployment actually did).
+        let mut engine = WorkloadEngine::for_catalog(anomaly.subsystem);
+        let mut bypassed = anomaly.trigger.clone();
+        Mitigation::AvoidLoopbackViaIpc.apply_to_workload(&mut bypassed);
+        assert!(!is_anomalous(&mut engine, &bypassed));
+
+        // NIC-side alternative: a loopback rate limiter removes the in-NIC
+        // incast bottleneck (the rule stops firing), though the collocated
+        // traffic still shares the host's PCIe bandwidth — which is why the
+        // paper does not consider #13 fixed.
+        let mut engine = WorkloadEngine::for_catalog(anomaly.subsystem);
+        assert!(is_anomalous(&mut engine, &anomaly.trigger));
+        Mitigation::LoopbackRateLimiter.apply_to_subsystem(engine.subsystem_mut());
+        let rules = engine.ground_truth(&anomaly.trigger);
+        assert!(
+            !rules.iter().any(|r| *r == anomaly.rule),
+            "the rate limiter should remove {}, still maps to {rules:?}",
+            anomaly.rule
+        );
+    }
+
+    #[test]
+    fn mitigations_do_not_hurt_benign_workloads() {
+        let mut engine = WorkloadEngine::for_catalog(
+            collie_rnic::subsystems::SubsystemId::F,
+        );
+        for m in Mitigation::ALL {
+            m.apply_to_subsystem(engine.subsystem_mut());
+        }
+        let mut benign = SearchPoint::benign();
+        for m in Mitigation::ALL {
+            m.apply_to_workload(&mut benign);
+        }
+        assert!(!is_anomalous(&mut engine, &benign));
+    }
+
+    #[test]
+    fn remediation_plans_order_fixes_before_bypasses() {
+        let anomaly = KnownAnomaly::by_id(13).unwrap();
+        let plan = RemediationPlan::for_anomaly(&anomaly);
+        // #13 has no real fix: only the IPC bypass and the newer-silicon
+        // rate limiter.
+        assert!(!plan.has_fix());
+        assert_eq!(plan.mitigations.len(), 2);
+
+        let anomaly4 = KnownAnomaly::by_id(4).unwrap();
+        let plan4 = RemediationPlan::for_anomaly(&anomaly4);
+        assert!(plan4.mitigations.is_empty(), "#4 has no documented fix");
+        assert!(!plan4.has_fix());
+    }
+
+    #[test]
+    fn kinds_and_descriptions_are_populated() {
+        for m in Mitigation::ALL {
+            assert!(!m.description().is_empty());
+            assert!(!m.fixes().is_empty());
+            let _ = m.kind();
+            assert!(m.to_string().contains(&m.kind().to_string()));
+        }
+        assert_eq!(
+            Mitigation::VendorRegisterFix.kind(),
+            MitigationKind::SubsystemConfiguration
+        );
+        assert_eq!(Mitigation::NicPerSocket.kind(), MitigationKind::HardwareChange);
+        assert_eq!(
+            Mitigation::AvoidLoopbackViaIpc.kind(),
+            MitigationKind::WorkloadChange
+        );
+    }
+}

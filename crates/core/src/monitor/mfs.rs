@@ -1,0 +1,517 @@
+//! Minimal feature set (MFS) extraction (§5.2).
+//!
+//! When the search finds an anomalous workload, Collie asks: *which of its
+//! features are actually necessary to reproduce the anomaly?* The answer —
+//! the minimal feature set — serves two purposes. During the search it
+//! prunes redundant experiments (any mutated point matching an already-known
+//! MFS is skipped, Algorithm 1 line 5); after the search it tells
+//! application developers which condition to break to sidestep the anomaly.
+//!
+//! Extraction follows the paper's heuristic: with only four dimensions and
+//! a handful of factors each, probe every feature directly. For a
+//! categorical feature, try the alternative values — if none still triggers
+//! the anomaly, the feature is necessary and must keep its value. For a
+//! numeric feature, probe the ends of its ladder to learn the direction of
+//! the condition (at-least or at-most) and then take a few bisection steps
+//! to find the coarse threshold, exactly as the paper discretises
+//! continuous dimensions into value regions.
+
+use super::anomaly::{AnomalyMonitor, Symptom};
+use crate::engine::WorkloadEngine;
+use crate::space::{Feature, FeatureValue, SearchPoint, SearchSpace};
+use collie_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One necessary condition of an MFS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureCondition {
+    /// The feature must keep exactly this value (categorical features, or
+    /// numeric features where only the observed region triggers).
+    Equals(FeatureValue),
+    /// The feature's numeric value must be at least this large.
+    AtLeast(u64),
+    /// The feature's numeric value must be at most this large.
+    AtMost(u64),
+}
+
+impl fmt::Display for FeatureCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureCondition::Equals(v) => write!(f, "= {v}"),
+            FeatureCondition::AtLeast(v) => write!(f, ">= {v}"),
+            FeatureCondition::AtMost(v) => write!(f, "<= {v}"),
+        }
+    }
+}
+
+/// A minimal feature set: the necessary conditions to reproduce one
+/// anomaly, plus an example workload that does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mfs {
+    /// The end-to-end symptom of the anomaly.
+    pub symptom: Symptom,
+    /// The necessary conditions, keyed by feature.
+    pub conditions: BTreeMap<Feature, FeatureCondition>,
+    /// A concrete workload that reproduces the anomaly.
+    pub example: SearchPoint,
+}
+
+impl Mfs {
+    /// True if `point` satisfies every condition of this MFS (and would
+    /// therefore be skipped by the search as a redundant test).
+    pub fn matches(&self, point: &SearchPoint) -> bool {
+        self.conditions.iter().all(|(feature, condition)| {
+            let value = point.feature_value(*feature);
+            match condition {
+                FeatureCondition::Equals(expected) => &value == expected,
+                FeatureCondition::AtLeast(threshold) => match value {
+                    FeatureValue::Number(n) => n >= *threshold,
+                    _ => false,
+                },
+                FeatureCondition::AtMost(threshold) => match value {
+                    FeatureValue::Number(n) => n <= *threshold,
+                    _ => false,
+                },
+            }
+        })
+    }
+
+    /// Human-readable condition list, one line per condition.
+    pub fn describe(&self) -> String {
+        let mut lines: Vec<String> = self
+            .conditions
+            .iter()
+            .map(|(f, c)| format!("{f} {c}"))
+            .collect();
+        lines.sort();
+        format!("[{}] {}", self.symptom, lines.join("; "))
+    }
+
+    /// Number of necessary conditions.
+    pub fn len(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// True if no condition was found necessary (should not happen for a
+    /// real anomaly, but kept total for robustness).
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+}
+
+/// The observable identity of the anomaly under extraction: the end-to-end
+/// symptom plus the diagnostic counter that dominated when the anomalous
+/// workload was measured. Probes must reproduce both for a feature to be
+/// judged irrelevant.
+#[derive(Debug, Clone, PartialEq)]
+struct ReproductionSignature {
+    symptom: Symptom,
+    dominant_counter: Option<String>,
+}
+
+/// The diagnostic counter with the largest value in a measurement, if any
+/// diagnostic counter is non-zero.
+fn dominant_diag_counter(measurement: &collie_rnic::subsystem::Measurement) -> Option<String> {
+    measurement
+        .counters
+        .iter()
+        .filter(|(_, kind, value)| *kind == collie_sim::counters::CounterKind::Diagnostic && *value > 0.0)
+        .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(name, _, _)| name.to_string())
+}
+
+/// Extracts MFSes by probing the subsystem.
+pub struct MfsExtractor<'a> {
+    engine: &'a mut WorkloadEngine,
+    monitor: &'a AnomalyMonitor,
+    space: &'a SearchSpace,
+    /// Maximum alternatives probed per categorical feature.
+    pub max_alternatives: usize,
+    /// Maximum bisection steps per numeric feature.
+    pub max_bisection_steps: usize,
+}
+
+/// The result of one extraction: the MFS plus the cost it incurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionOutcome {
+    /// The extracted minimal feature set.
+    pub mfs: Mfs,
+    /// Experiments spent probing.
+    pub experiments: u32,
+    /// Simulated wall-clock spent probing (each probe costs what a normal
+    /// experiment costs — visible as the flat segments of Figure 6).
+    pub elapsed: SimDuration,
+}
+
+impl<'a> MfsExtractor<'a> {
+    /// A new extractor bound to an engine, monitor, and space.
+    pub fn new(
+        engine: &'a mut WorkloadEngine,
+        monitor: &'a AnomalyMonitor,
+        space: &'a SearchSpace,
+    ) -> Self {
+        MfsExtractor {
+            engine,
+            monitor,
+            space,
+            // §5.2: "we just do a few tests on each dimension". Two
+            // alternatives per categorical feature and one refinement step
+            // per numeric feature keep one extraction in the tens of
+            // experiments — the flat segments visible in Figure 6 — rather
+            // than consuming a large slice of the campaign budget.
+            max_alternatives: 2,
+            max_bisection_steps: 1,
+        }
+    }
+
+    /// Run one probe experiment and report whether it still reproduces the
+    /// anomaly under extraction.
+    ///
+    /// "Reproduces" means the probe shows the *same observable identity*:
+    /// the same end-to-end symptom and the same dominant diagnostic
+    /// counter. Requiring only "some anomaly" would make almost every
+    /// feature look irrelevant on hosts where several bottlenecks can be
+    /// tripped at once (a probe that swaps UD for RC and then pauses
+    /// because of the PCIe-ordering bottleneck is evidence of a *different*
+    /// anomaly, not evidence that the transport does not matter). Both
+    /// parts of the signature are observable without any hardware
+    /// knowledge, exactly like the counters the search itself uses.
+    fn probe(
+        &mut self,
+        point: &SearchPoint,
+        signature: &ReproductionSignature,
+        counters: &mut (u32, SimDuration),
+    ) -> bool {
+        counters.0 += 1;
+        counters.1 += WorkloadEngine::experiment_cost(point);
+        let measurement = self.engine.measure(point);
+        let verdict = self
+            .monitor
+            .assess(&measurement, &self.engine.subsystem().rnic);
+        if verdict.symptom != Some(signature.symptom) {
+            return false;
+        }
+        match &signature.dominant_counter {
+            Some(reference) => dominant_diag_counter(&measurement).as_deref() == Some(reference),
+            None => true,
+        }
+    }
+
+    /// Extract the MFS of an anomalous point.
+    pub fn extract(&mut self, anomalous: &SearchPoint, symptom: Symptom) -> ExtractionOutcome {
+        let mut cost = (0u32, SimDuration::ZERO);
+        let mut conditions = BTreeMap::new();
+
+        // One extra experiment to capture the anomaly's observable identity
+        // (symptom + dominant diagnostic counter) that every probe is
+        // compared against.
+        cost.0 += 1;
+        cost.1 += WorkloadEngine::experiment_cost(anomalous);
+        let reference = self.engine.measure(anomalous);
+        let signature = ReproductionSignature {
+            symptom,
+            dominant_counter: dominant_diag_counter(&reference),
+        };
+
+        for feature in Feature::ALL {
+            match anomalous.feature_value(feature) {
+                FeatureValue::Number(current) => {
+                    if let Some(condition) =
+                        self.probe_numeric(anomalous, feature, current, &signature, &mut cost)
+                    {
+                        conditions.insert(feature, condition);
+                    }
+                }
+                current => {
+                    if let Some(condition) =
+                        self.probe_categorical(anomalous, feature, current, &signature, &mut cost)
+                    {
+                        conditions.insert(feature, condition);
+                    }
+                }
+            }
+        }
+
+        ExtractionOutcome {
+            mfs: Mfs {
+                symptom,
+                conditions,
+                example: anomalous.clone(),
+            },
+            experiments: cost.0,
+            elapsed: cost.1,
+        }
+    }
+
+    fn probe_categorical(
+        &mut self,
+        anomalous: &SearchPoint,
+        feature: Feature,
+        current: FeatureValue,
+        signature: &ReproductionSignature,
+        cost: &mut (u32, SimDuration),
+    ) -> Option<FeatureCondition> {
+        let alternatives = self.space.alternatives(anomalous, feature);
+        if alternatives.is_empty() {
+            return None;
+        }
+        let mut any_alternative_triggers = false;
+        for alt in alternatives.iter().take(self.max_alternatives) {
+            let mut probe = anomalous.clone();
+            probe.apply(feature, alt);
+            if self.probe(&probe, signature, cost) {
+                any_alternative_triggers = true;
+                break;
+            }
+        }
+        if any_alternative_triggers {
+            None
+        } else {
+            Some(FeatureCondition::Equals(current))
+        }
+    }
+
+    fn probe_numeric(
+        &mut self,
+        anomalous: &SearchPoint,
+        feature: Feature,
+        current: u64,
+        signature: &ReproductionSignature,
+        cost: &mut (u32, SimDuration),
+    ) -> Option<FeatureCondition> {
+        let ladder: Vec<u64> = self
+            .space
+            .alternatives(anomalous, feature)
+            .into_iter()
+            .filter_map(|v| match v {
+                FeatureValue::Number(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        if ladder.is_empty() {
+            return None;
+        }
+        let lowest = *ladder.iter().min().unwrap();
+        let highest = *ladder.iter().max().unwrap();
+
+        let triggers_at = |this: &mut Self, value: u64, cost: &mut (u32, SimDuration)| {
+            if value == current {
+                return true;
+            }
+            let mut probe = anomalous.clone();
+            probe.apply(feature, &FeatureValue::Number(value));
+            this.probe(&probe, signature, cost)
+        };
+
+        let low_triggers = triggers_at(self, lowest.min(current), cost);
+        let high_triggers = triggers_at(self, highest.max(current), cost);
+
+        match (low_triggers, high_triggers) {
+            // The feature's value does not matter.
+            (true, true) => None,
+            // Condition is "at least": find the coarse threshold between the
+            // lowest non-triggering rung and the current value.
+            (false, true) => {
+                let threshold = self.bisect(
+                    anomalous, feature, &ladder, current, signature, cost, /*at_least=*/ true,
+                );
+                Some(FeatureCondition::AtLeast(threshold))
+            }
+            // Condition is "at most".
+            (true, false) => {
+                let threshold = self.bisect(
+                    anomalous, feature, &ladder, current, signature, cost, /*at_least=*/ false,
+                );
+                Some(FeatureCondition::AtMost(threshold))
+            }
+            // Only the observed region triggers.
+            (false, false) => Some(FeatureCondition::Equals(FeatureValue::Number(current))),
+        }
+    }
+
+    /// Coarse threshold search over the rungs between the failing end of
+    /// the ladder and the current (triggering) value.
+    #[allow(clippy::too_many_arguments)]
+    fn bisect(
+        &mut self,
+        anomalous: &SearchPoint,
+        feature: Feature,
+        ladder: &[u64],
+        current: u64,
+        signature: &ReproductionSignature,
+        cost: &mut (u32, SimDuration),
+        at_least: bool,
+    ) -> u64 {
+        // Candidate rungs strictly between the far end and the current value.
+        let mut candidates: Vec<u64> = ladder
+            .iter()
+            .copied()
+            .filter(|&v| if at_least { v < current } else { v > current })
+            .collect();
+        candidates.sort_unstable();
+        if at_least {
+            candidates.reverse();
+        }
+        let mut threshold = current;
+        for value in candidates.into_iter().take(self.max_bisection_steps) {
+            let mut probe = anomalous.clone();
+            probe.apply(feature, &FeatureValue::Number(value));
+            if self.probe(&probe, signature, cost) {
+                threshold = value;
+            } else {
+                break;
+            }
+        }
+        threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collie_rnic::subsystems::SubsystemId;
+    use collie_rnic::workload::{Opcode, Transport};
+
+    fn anomaly_1_point() -> SearchPoint {
+        let mut p = SearchPoint::benign();
+        p.transport = Transport::Ud;
+        p.opcode = Opcode::Send;
+        p.num_qps = 1;
+        p.wqe_batch = 64;
+        p.recv_queue_depth = 256;
+        p.send_queue_depth = 256;
+        p.mtu = 2048;
+        p.messages = vec![2048];
+        p
+    }
+
+    fn extract_for(point: &SearchPoint) -> ExtractionOutcome {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let monitor = AnomalyMonitor::new();
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let symptom = {
+            let (_, verdict) = monitor.measure_and_assess(&mut engine, point);
+            verdict.symptom.expect("point must be anomalous")
+        };
+        let mut extractor = MfsExtractor::new(&mut engine, &monitor, &space);
+        extractor.extract(point, symptom)
+    }
+
+    #[test]
+    fn mfs_of_anomaly_1_contains_its_documented_conditions() {
+        let outcome = extract_for(&anomaly_1_point());
+        let mfs = &outcome.mfs;
+        assert_eq!(mfs.symptom, Symptom::PauseStorm);
+        // Transport (UD SEND) is necessary.
+        assert!(
+            matches!(
+                mfs.conditions.get(&Feature::Transport),
+                Some(FeatureCondition::Equals(_))
+            ),
+            "{}",
+            mfs.describe()
+        );
+        // Large WQE batch is necessary (at-least condition).
+        assert!(
+            matches!(
+                mfs.conditions.get(&Feature::WqeBatch),
+                Some(FeatureCondition::AtLeast(t)) if *t <= 64
+            ),
+            "{}",
+            mfs.describe()
+        );
+        // Long receive queue is necessary.
+        assert!(
+            matches!(
+                mfs.conditions.get(&Feature::RecvQueueDepth),
+                Some(FeatureCondition::AtLeast(t)) if *t <= 256
+            ),
+            "{}",
+            mfs.describe()
+        );
+        // Irrelevant features are excluded.
+        assert!(!mfs.conditions.contains_key(&Feature::MrSize));
+        assert!(!mfs.conditions.contains_key(&Feature::SrcMemory));
+        assert!(outcome.experiments > 0);
+        assert!(outcome.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn the_anomalous_point_matches_its_own_mfs() {
+        let point = anomaly_1_point();
+        let outcome = extract_for(&point);
+        assert!(outcome.mfs.matches(&point));
+        assert!(!outcome.mfs.is_empty());
+    }
+
+    #[test]
+    fn breaking_a_necessary_condition_stops_matching() {
+        let point = anomaly_1_point();
+        let outcome = extract_for(&point);
+        let mut broken = point.clone();
+        broken.wqe_batch = 1;
+        assert!(!outcome.mfs.matches(&broken));
+        let mut rc = point.clone();
+        rc.transport = Transport::Rc;
+        rc.opcode = Opcode::Send;
+        assert!(!outcome.mfs.matches(&rc));
+    }
+
+    #[test]
+    fn mfs_matching_generalises_beyond_the_example() {
+        let point = anomaly_1_point();
+        let outcome = extract_for(&point);
+        // A harsher version of the same anomaly (bigger batch, deeper WQ)
+        // still matches, so the search will not waste time on it.
+        let mut harsher = point.clone();
+        harsher.wqe_batch = 128;
+        harsher.recv_queue_depth = 1024;
+        assert!(outcome.mfs.matches(&harsher), "{}", outcome.mfs.describe());
+    }
+
+    #[test]
+    fn describe_lists_conditions() {
+        let outcome = extract_for(&anomaly_1_point());
+        let text = outcome.mfs.describe();
+        assert!(text.contains("pause frame"));
+        assert!(text.contains("WQE batch"));
+    }
+
+    #[test]
+    fn probes_that_trip_a_different_bottleneck_do_not_erase_conditions() {
+        // A workload that triggers the UD receive-WQE anomaly (#1) while
+        // also being bidirectional on a strict-ordering host could, when
+        // the transport is swapped to RC, still pause because of an
+        // unrelated host-side bottleneck. The counter-signature probe keeps
+        // the transport in the MFS anyway.
+        let mut point = anomaly_1_point();
+        point.bidirectional = true;
+        point.sge_per_wqe = 3;
+        point.messages = vec![128, 64 * 1024, 2048];
+        let outcome = extract_for(&point);
+        assert!(
+            !outcome.mfs.is_empty(),
+            "compound workload still yields a usable MFS: {}",
+            outcome.mfs.describe()
+        );
+    }
+
+    #[test]
+    fn dominant_counter_identifies_the_stressed_resource() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let measurement = engine.measure(&anomaly_1_point());
+        assert_eq!(
+            super::dominant_diag_counter(&measurement).as_deref(),
+            Some(collie_rnic::counters::diag::RECV_WQE_CACHE_MISS)
+        );
+        // A benign workload keeps diagnostic counters near zero; whatever
+        // the dominant one is, the anomaly-1 signature differs from it.
+        let benign = engine.measure(&SearchPoint::benign());
+        assert_ne!(
+            super::dominant_diag_counter(&benign).as_deref(),
+            Some(collie_rnic::counters::diag::RECV_WQE_CACHE_MISS)
+        );
+    }
+}

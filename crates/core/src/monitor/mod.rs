@@ -1,0 +1,12 @@
+//! The anomaly monitor (§5.2).
+//!
+//! Two responsibilities, mirroring Figure 2: detect whether an experiment's
+//! measurement is anomalous ([`AnomalyMonitor`]), and — once a new anomaly
+//! is found — determine the minimal feature set that reproduces it
+//! ([`mfs::MfsExtractor`]).
+
+mod anomaly;
+mod mfs;
+
+pub use anomaly::{AnomalyMonitor, AnomalyThresholds, AnomalyVerdict, Symptom};
+pub use mfs::{FeatureCondition, Mfs, MfsExtractor};

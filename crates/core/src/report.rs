@@ -1,0 +1,228 @@
+//! Serialisable experiment records.
+//!
+//! The benchmark harness regenerates every table and figure of the paper's
+//! evaluation; these row types are the machine-readable form of those
+//! outputs (the binaries print them as aligned text and as JSON so that
+//! EXPERIMENTS.md can quote them directly).
+
+use crate::monitor::Symptom;
+use crate::search::SearchOutcome;
+use collie_sim::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// One row of the regenerated Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Paper anomaly number.
+    pub id: u32,
+    /// Subsystem label ("F" or "H").
+    pub subsystem: String,
+    /// RNIC model name.
+    pub rnic: String,
+    /// Whether the anomaly is new (found by Collie) or previously known.
+    pub new: bool,
+    /// The necessary conditions.
+    pub conditions: Vec<String>,
+    /// The expected symptom.
+    pub expected_symptom: Symptom,
+    /// The symptom the simulated subsystem reproduced (None = no anomaly).
+    pub observed_symptom: Option<Symptom>,
+    /// Observed pause-duration ratio.
+    pub pause_ratio: f64,
+    /// Observed best fraction of a specification bound.
+    pub spec_fraction: f64,
+    /// True when breaking one necessary condition removed the anomaly.
+    pub condition_break_verified: bool,
+}
+
+impl Table2Row {
+    /// Whether the reproduction matches the paper's row.
+    pub fn reproduced(&self) -> bool {
+        self.observed_symptom == Some(self.expected_symptom)
+    }
+}
+
+/// One bar of Figure 4 / Figure 5: mean time to find the N-th anomaly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeToFindRow {
+    /// Strategy label ("Random", "BO", "Collie(Diag)", …).
+    pub strategy: String,
+    /// How many distinct catalogued anomalies had been found.
+    pub anomalies_found: usize,
+    /// Mean minutes of (simulated) running time to reach that count, over
+    /// the repeated seeds; `None` if the strategy never reached it.
+    pub mean_minutes: Option<f64>,
+    /// Standard deviation of the minutes over seeds (the error bars).
+    pub std_minutes: f64,
+    /// Number of seeds that reached the count.
+    pub seeds_reaching: usize,
+    /// Total seeds run.
+    pub seeds_total: usize,
+}
+
+/// One point of the Figure 6 counter trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Simulated minutes since the search started.
+    pub minutes: f64,
+    /// Normalised counter value in [0, 1].
+    pub normalized_value: f64,
+    /// True if an anomaly was found at this sample.
+    pub anomaly: bool,
+}
+
+/// A full Figure 6 series for one strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSeries {
+    /// Strategy label.
+    pub strategy: String,
+    /// The samples in time order.
+    pub points: Vec<TracePoint>,
+}
+
+impl TraceSeries {
+    /// Build the series from a search outcome (normalising by the maximum
+    /// observed value, as the paper's Figure 6 does).
+    pub fn from_outcome(outcome: &SearchOutcome) -> TraceSeries {
+        let normalized = outcome.trace.normalized();
+        TraceSeries {
+            strategy: outcome.label.clone(),
+            points: normalized
+                .samples()
+                .iter()
+                .map(|s| TracePoint {
+                    minutes: s.at.as_secs_f64() / 60.0,
+                    normalized_value: s.value,
+                    anomaly: s.anomaly,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Aggregate a set of per-seed outcomes into Figure-4/5 rows for one
+/// strategy.
+pub fn time_to_find_rows(label: &str, outcomes: &[SearchOutcome], max_anomalies: usize) -> Vec<TimeToFindRow> {
+    let mut rows = Vec::new();
+    for n in 0..=max_anomalies {
+        if n == 0 {
+            rows.push(TimeToFindRow {
+                strategy: label.to_string(),
+                anomalies_found: 0,
+                mean_minutes: Some(0.0),
+                std_minutes: 0.0,
+                seeds_reaching: outcomes.len(),
+                seeds_total: outcomes.len(),
+            });
+            continue;
+        }
+        let times: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.time_to_find(n))
+            .map(|d| d.as_secs_f64() / 60.0)
+            .collect();
+        let summary = Summary::of(&times);
+        rows.push(TimeToFindRow {
+            strategy: label.to_string(),
+            anomalies_found: n,
+            mean_minutes: if times.is_empty() {
+                None
+            } else {
+                Some(summary.mean)
+            },
+            std_minutes: summary.std_dev,
+            seeds_reaching: times.len(),
+            seeds_total: outcomes.len(),
+        });
+    }
+    rows
+}
+
+/// Render a slice of serialisable rows as pretty JSON (for EXPERIMENTS.md
+/// and for machine consumption by plotting scripts).
+pub fn to_json<T: Serialize>(rows: &[T]) -> String {
+    serde_json::to_string_pretty(rows).unwrap_or_else(|_| "[]".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collie_sim::series::TimeSeries;
+    use collie_sim::time::{SimDuration, SimTime};
+
+    fn outcome_with_milestones(times_minutes: &[u64]) -> SearchOutcome {
+        use crate::monitor::{Mfs, Symptom};
+        use crate::search::Discovery;
+        use crate::space::SearchPoint;
+        use std::collections::BTreeMap;
+        let discoveries = times_minutes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| Discovery {
+                at: SimDuration::from_secs(m * 60),
+                point: SearchPoint::benign(),
+                symptom: Symptom::PauseStorm,
+                mfs: Mfs {
+                    symptom: Symptom::PauseStorm,
+                    conditions: BTreeMap::new(),
+                    example: SearchPoint::benign(),
+                },
+                matched_rules: vec![format!("collie/{}", i + 1)],
+            })
+            .collect();
+        SearchOutcome {
+            label: "test".to_string(),
+            discoveries,
+            rule_hits: Vec::new(),
+            trace: {
+                let mut t = TimeSeries::new("c");
+                t.record(SimTime::from_secs(60), 5.0);
+                t.record_anomaly(SimTime::from_secs(120), 10.0);
+                t
+            },
+            experiments: 10,
+            skipped_by_mfs: 0,
+            elapsed: SimDuration::from_secs(3600),
+        }
+    }
+
+    #[test]
+    fn time_to_find_rows_aggregate_seeds() {
+        let a = outcome_with_milestones(&[10, 30]);
+        let b = outcome_with_milestones(&[20, 40]);
+        let rows = time_to_find_rows("Collie", &[a, b], 3);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[1].anomalies_found, 1);
+        assert_eq!(rows[1].mean_minutes, Some(15.0));
+        assert_eq!(rows[1].seeds_reaching, 2);
+        assert_eq!(rows[2].mean_minutes, Some(35.0));
+        // Neither seed found a third anomaly.
+        assert_eq!(rows[3].mean_minutes, None);
+        assert_eq!(rows[3].seeds_reaching, 0);
+    }
+
+    #[test]
+    fn trace_series_is_normalised_and_in_minutes() {
+        let outcome = outcome_with_milestones(&[10]);
+        let series = TraceSeries::from_outcome(&outcome);
+        assert_eq!(series.points.len(), 2);
+        assert!((series.points[0].minutes - 1.0).abs() < 1e-9);
+        assert!((series.points[1].normalized_value - 1.0).abs() < 1e-9);
+        assert!(series.points[1].anomaly);
+    }
+
+    #[test]
+    fn json_rendering_round_trips() {
+        let rows = vec![TimeToFindRow {
+            strategy: "Random".to_string(),
+            anomalies_found: 1,
+            mean_minutes: Some(12.5),
+            std_minutes: 1.0,
+            seeds_reaching: 3,
+            seeds_total: 3,
+        }];
+        let json = to_json(&rows);
+        let parsed: Vec<TimeToFindRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, rows);
+    }
+}

@@ -1,0 +1,128 @@
+//! Simulated annealing over counter values (Algorithm 1).
+//!
+//! The optimiser the paper settles on: start from a random workload, mutate
+//! one dimension at a time, and accept mutations that push the guiding
+//! counter towards its extreme region — always when they improve it, and
+//! with probability `exp(-ΔE/T)` when they do not, so that early in the
+//! schedule the search can cross valleys. Two extensions matter in
+//! practice and are reproduced here:
+//!
+//! * workloads falling inside an already-discovered anomaly's MFS are
+//!   skipped without running an experiment (line 5), and
+//! * when a new anomaly is found, the search restarts from a fresh random
+//!   point (line 17) instead of milking the same region.
+//!
+//! The outer loop follows §7.2: the guiding counters are ranked by their
+//! variability over ten random probes, then optimised one after another,
+//! cycling until the time budget is spent.
+
+use super::campaign::Campaign;
+
+/// Run the annealing campaign until the budget is exhausted.
+pub(crate) fn run(campaign: &mut Campaign<'_>) {
+    let ranked = campaign.rank_counters(10);
+    if ranked.is_empty() {
+        return;
+    }
+    let mut counter_index = 0usize;
+    while !campaign.out_of_budget() {
+        let target = ranked[counter_index % ranked.len()].clone();
+        anneal_one_counter(campaign, &target);
+        counter_index += 1;
+    }
+}
+
+/// One annealing schedule driving a single counter to its extreme region.
+fn anneal_one_counter(campaign: &mut Campaign<'_>, target: &str) {
+    let config = campaign.config.clone();
+    // Algorithm 1 line 1: measure a random starting point.
+    let mut current = campaign.space.random_point(&mut campaign.rng);
+    let Some(measurement) = campaign.measure(&current) else {
+        return;
+    };
+    let mut current_value = campaign.signal_value(&measurement, Some(target));
+
+    let mut temperature = config.initial_temperature;
+    while temperature > config.min_temperature {
+        for _ in 0..config.iterations_per_temperature {
+            if campaign.out_of_budget() {
+                return;
+            }
+            // Line 4: mutate one search dimension.
+            let candidate = campaign.space.mutate(&current, &mut campaign.rng);
+            // Line 5: skip workloads already covered by a known anomaly.
+            if campaign.matches_known_mfs(&candidate) {
+                continue;
+            }
+            let discoveries_before = campaign_discovery_count(campaign);
+            let Some(measurement) = campaign.measure(&candidate) else {
+                return;
+            };
+            let candidate_value = campaign.signal_value(&measurement, Some(target));
+
+            // Lines 14–17: a new anomaly restarts the walk from a random
+            // point so the schedule keeps exploring.
+            if campaign_discovery_count(campaign) > discoveries_before {
+                current = campaign.space.random_point(&mut campaign.rng);
+                if let Some(m) = campaign.measure(&current) {
+                    current_value = campaign.signal_value(&m, Some(target));
+                }
+                continue;
+            }
+
+            // Lines 7–13: Metropolis acceptance on the energy delta.
+            let delta = campaign.energy_delta(current_value, candidate_value);
+            let accept = if delta < 0.0 {
+                true
+            } else {
+                let probability = (-delta / temperature.max(1e-6)).exp();
+                campaign.rng.gen_f64() < probability
+            };
+            if accept {
+                current = candidate;
+                current_value = candidate_value;
+            }
+        }
+        temperature *= config.alpha;
+    }
+}
+
+fn campaign_discovery_count(campaign: &Campaign<'_>) -> usize {
+    campaign.discovery_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::WorkloadEngine;
+    use crate::search::{run_search, SearchConfig, SignalMode};
+    use crate::space::SearchSpace;
+    use collie_rnic::subsystems::SubsystemId;
+    use collie_sim::time::SimDuration;
+
+    #[test]
+    fn annealing_with_diag_counters_finds_multiple_distinct_anomalies() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let config = SearchConfig::collie(5).with_budget(SimDuration::from_secs(2 * 3600));
+        let outcome = run_search(&mut engine, &space, &config);
+        assert!(
+            outcome.distinct_known_anomalies().len() >= 2,
+            "found only {:?}",
+            outcome.distinct_known_anomalies()
+        );
+        // The Figure-6 trace exists and contains anomaly markers.
+        assert!(!outcome.trace.is_empty());
+        assert!(!outcome.trace.anomaly_samples().is_empty());
+    }
+
+    #[test]
+    fn performance_counter_mode_also_works() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let config = SearchConfig::collie(6)
+            .with_signal(SignalMode::Performance)
+            .with_budget(SimDuration::from_secs(3600));
+        let outcome = run_search(&mut engine, &space, &config);
+        assert!(!outcome.discoveries.is_empty());
+    }
+}

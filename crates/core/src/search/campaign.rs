@@ -1,0 +1,489 @@
+//! Shared campaign state and accounting.
+//!
+//! Every strategy (random, BO, simulated annealing) runs inside a
+//! [`Campaign`]: it asks the campaign to measure points, the campaign
+//! charges the hardware-time cost, applies the MFS skip, detects anomalies,
+//! extracts their MFS, records the Figure-6 trace, and accumulates the
+//! discoveries. Keeping all of that here means the strategies differ only
+//! in how they pick the next point — which is exactly the comparison the
+//! paper's evaluation makes.
+
+use crate::engine::WorkloadEngine;
+use crate::monitor::{AnomalyMonitor, Mfs, MfsExtractor, Symptom};
+use crate::search::{SearchConfig, SignalMode};
+use crate::space::{SearchPoint, SearchSpace};
+use collie_rnic::counters::diag;
+use collie_rnic::subsystem::Measurement;
+use collie_sim::counters::CounterKind;
+use collie_sim::rng::SimRng;
+use collie_sim::series::TimeSeries;
+use collie_sim::stats::OnlineStats;
+use collie_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One anomaly discovered by a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discovery {
+    /// Simulated wall-clock at which the anomaly was confirmed (before its
+    /// MFS extraction).
+    pub at: SimDuration,
+    /// The workload that triggered it.
+    pub point: SearchPoint,
+    /// The observed symptom.
+    pub symptom: Symptom,
+    /// The extracted minimal feature set.
+    pub mfs: Mfs,
+    /// Ground-truth catalogue rules this workload triggers (empty if the
+    /// discovery does not correspond to a catalogued anomaly). Used only
+    /// for scoring, never by the search itself.
+    pub matched_rules: Vec<String>,
+}
+
+/// First time a catalogued anomaly was triggered by a measured experiment.
+///
+/// This is evaluation-side scoring (it relies on the ground-truth oracle the
+/// way the paper relies on its known anomaly list); the search itself never
+/// sees it. A campaign "finds" anomaly #N the first time it *tests* a
+/// workload that triggers it, whether or not that workload also becomes a
+/// new MFS — exactly the y-axis of Figures 4 and 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleHit {
+    /// Simulated wall-clock at which the rule was first triggered.
+    pub at: SimDuration,
+    /// Ground-truth rule name (`collie/<n>`).
+    pub rule: String,
+}
+
+/// The result of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Human-readable label of the configuration ("Collie(Diag)", …).
+    pub label: String,
+    /// Every anomaly discovered, in discovery order.
+    pub discoveries: Vec<Discovery>,
+    /// First-trigger times of every catalogued anomaly hit by a measured
+    /// experiment (scoring only; see [`RuleHit`]).
+    pub rule_hits: Vec<RuleHit>,
+    /// Trace of the receive-WQE-cache-miss diagnostic counter over the
+    /// campaign (the Figure-6 series), with anomaly markers.
+    pub trace: TimeSeries,
+    /// Experiments actually run (skipped points are free).
+    pub experiments: u32,
+    /// Points skipped by the MFS filter.
+    pub skipped_by_mfs: u32,
+    /// Simulated wall-clock consumed.
+    pub elapsed: SimDuration,
+}
+
+impl SearchOutcome {
+    /// The distinct catalogued anomalies *found* by the campaign: the
+    /// ground-truth rules matched by its discoveries — every anomalous
+    /// workload that became a new minimal feature set, which is how the
+    /// paper counts "anomalies found" (one MFS per anomaly in the set `S`
+    /// of Algorithm 1).
+    pub fn distinct_known_anomalies(&self) -> BTreeSet<String> {
+        self.discoveries
+            .iter()
+            .flat_map(|d| d.matched_rules.iter().cloned())
+            .collect()
+    }
+
+    /// The distinct catalogued anomalies *triggered* by any measured
+    /// experiment, including redundant sightings inside already-known MFS
+    /// regions. Always a superset of [`distinct_known_anomalies`]; reported
+    /// alongside it by the harness.
+    ///
+    /// [`distinct_known_anomalies`]: SearchOutcome::distinct_known_anomalies
+    pub fn distinct_triggered_anomalies(&self) -> BTreeSet<String> {
+        self.rule_hits
+            .iter()
+            .map(|h| h.rule.clone())
+            .chain(
+                self.discoveries
+                    .iter()
+                    .flat_map(|d| d.matched_rules.iter().cloned()),
+            )
+            .collect()
+    }
+
+    /// Simulated time at which the N-th distinct catalogued anomaly was
+    /// found (None if fewer were found). This is the quantity plotted on
+    /// Figures 4 and 5.
+    pub fn time_to_find(&self, n: usize) -> Option<SimDuration> {
+        self.milestones()
+            .into_iter()
+            .find(|(_, count)| *count >= n)
+            .map(|(at, _)| at)
+    }
+
+    /// Cumulative (time, distinct anomaly count) milestones over the
+    /// discovery log.
+    pub fn milestones(&self) -> Vec<(SimDuration, usize)> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut out = Vec::new();
+        for d in &self.discoveries {
+            let before = seen.len();
+            seen.extend(d.matched_rules.iter().cloned());
+            if seen.len() > before {
+                out.push((d.at, seen.len()));
+            }
+        }
+        out
+    }
+}
+
+/// Mutable state shared by every strategy.
+pub(crate) struct Campaign<'a> {
+    pub(crate) engine: &'a mut WorkloadEngine,
+    pub(crate) space: &'a SearchSpace,
+    pub(crate) monitor: &'a AnomalyMonitor,
+    pub(crate) config: &'a SearchConfig,
+    pub(crate) rng: SimRng,
+    elapsed: SimDuration,
+    experiments: u32,
+    skipped: u32,
+    discoveries: Vec<Discovery>,
+    rule_hits: Vec<RuleHit>,
+    hit_rules: BTreeSet<String>,
+    mfs_set: Vec<Mfs>,
+    trace: TimeSeries,
+}
+
+impl<'a> Campaign<'a> {
+    pub(crate) fn new(
+        engine: &'a mut WorkloadEngine,
+        space: &'a SearchSpace,
+        monitor: &'a AnomalyMonitor,
+        config: &'a SearchConfig,
+    ) -> Self {
+        Campaign {
+            engine,
+            space,
+            monitor,
+            config,
+            rng: SimRng::new(config.seed),
+            elapsed: SimDuration::ZERO,
+            experiments: 0,
+            skipped: 0,
+            discoveries: Vec::new(),
+            rule_hits: Vec::new(),
+            hit_rules: BTreeSet::new(),
+            mfs_set: Vec::new(),
+            trace: TimeSeries::new(diag::RECV_WQE_CACHE_MISS),
+        }
+    }
+
+    /// True once the simulated budget is spent.
+    pub(crate) fn out_of_budget(&self) -> bool {
+        self.elapsed >= self.config.budget
+    }
+
+    /// True if the point falls inside an already-discovered anomaly's MFS
+    /// (Algorithm 1, line 5) and the MFS skip is enabled.
+    ///
+    /// An MFS that ended up with *no* necessary conditions (possible for a
+    /// compound-overload workload where every single-feature change still
+    /// reproduces the symptom) would match the entire space and starve the
+    /// search, so empty MFSes never participate in the skip.
+    pub(crate) fn matches_known_mfs(&mut self, point: &SearchPoint) -> bool {
+        if !self.config.use_mfs {
+            return false;
+        }
+        let matched = self
+            .mfs_set
+            .iter()
+            .any(|m| !m.is_empty() && m.matches(point));
+        if matched {
+            self.skipped += 1;
+        }
+        matched
+    }
+
+    /// Run one experiment: charge its hardware cost, record the trace, and
+    /// — if the point is anomalous — extract its MFS and log the discovery.
+    /// Returns the measurement (for the caller to read its guiding counter)
+    /// or `None` if the budget ran out before the experiment could run.
+    pub(crate) fn measure(&mut self, point: &SearchPoint) -> Option<Measurement> {
+        if self.out_of_budget() {
+            return None;
+        }
+        self.elapsed += WorkloadEngine::experiment_cost(point);
+        self.experiments += 1;
+        let measurement = self.engine.measure(point);
+        let verdict = self.monitor.assess(&measurement, &self.engine.subsystem().rnic);
+
+        let trace_value = measurement
+            .counters
+            .value(diag::RECV_WQE_CACHE_MISS)
+            .unwrap_or(0.0);
+        let now = SimTime::ZERO + self.elapsed;
+        if let Some(symptom) = verdict.symptom {
+            self.trace.record_anomaly(now, trace_value);
+            self.record_rule_hits(point);
+            self.handle_anomaly(point, symptom);
+        } else {
+            self.trace.record(now, trace_value);
+        }
+        Some(measurement)
+    }
+
+    /// Scoring bookkeeping: note the first time each catalogued anomaly was
+    /// triggered by a measured experiment. Never consulted by the search.
+    fn record_rule_hits(&mut self, point: &SearchPoint) {
+        let at = self.elapsed;
+        for rule in self.engine.ground_truth(point) {
+            if self.hit_rules.insert(rule.to_string()) {
+                self.rule_hits.push(RuleHit {
+                    at,
+                    rule: rule.to_string(),
+                });
+            }
+        }
+    }
+
+    fn handle_anomaly(&mut self, point: &SearchPoint, symptom: Symptom) {
+        // Already covered by a known MFS? Then this is a redundant sighting
+        // of an anomaly we have, not a new discovery.
+        if self.mfs_set.iter().any(|m| m.matches(point)) {
+            return;
+        }
+        let found_at = self.elapsed;
+        let outcome = {
+            let mut extractor = MfsExtractor::new(self.engine, self.monitor, self.space);
+            extractor.extract(point, symptom)
+        };
+        // MFS extraction takes real experiments on real hardware; charge
+        // them (this is the flat segment after each red cross in Figure 6).
+        self.elapsed += outcome.elapsed;
+        self.experiments += outcome.experiments;
+        let trace_value = self.trace.samples().last().map(|s| s.value).unwrap_or(0.0);
+        self.trace.record(SimTime::ZERO + self.elapsed, trace_value);
+
+        let matched_rules = self
+            .engine
+            .ground_truth(point)
+            .into_iter()
+            .map(|r| r.to_string())
+            .collect();
+        self.mfs_set.push(outcome.mfs.clone());
+        self.discoveries.push(Discovery {
+            at: found_at,
+            point: point.clone(),
+            symptom,
+            mfs: outcome.mfs,
+            matched_rules,
+        });
+    }
+
+    /// The guiding-counter value of a measurement under the configured
+    /// signal mode: the sum of diagnostic counters to maximise, or the sum
+    /// of performance counters to minimise, depending on the mode — or one
+    /// specific counter when `target` names it.
+    pub(crate) fn signal_value(&self, measurement: &Measurement, target: Option<&str>) -> f64 {
+        if let Some(name) = target {
+            return measurement.counters.value(name).unwrap_or(0.0);
+        }
+        let kind = match self.config.signal {
+            SignalMode::Performance => CounterKind::Performance,
+            SignalMode::Diagnostic => CounterKind::Diagnostic,
+        };
+        measurement
+            .counters
+            .iter()
+            .filter(|(_, k, _)| *k == kind)
+            .map(|(_, _, v)| v)
+            .sum()
+    }
+
+    /// The energy delta of Algorithm 1: negative means the new point is
+    /// better (higher diagnostic counter / lower performance counter).
+    pub(crate) fn energy_delta(&self, old: f64, new: f64) -> f64 {
+        let eps = 1e-9;
+        match self.config.signal {
+            SignalMode::Performance => (new - old) / old.abs().max(eps),
+            SignalMode::Diagnostic => (old - new) / new.abs().max(eps),
+        }
+    }
+
+    /// Rank the counters of the configured family by coefficient of
+    /// variation over `probes` random experiments (the procedure §7.2 uses
+    /// to decide which diagnostic counter to optimise first).
+    pub(crate) fn rank_counters(&mut self, probes: usize) -> Vec<String> {
+        let kind = match self.config.signal {
+            SignalMode::Performance => CounterKind::Performance,
+            SignalMode::Diagnostic => CounterKind::Diagnostic,
+        };
+        let names: Vec<String> = self
+            .engine
+            .subsystem()
+            .registry()
+            .names(kind)
+            .into_iter()
+            .collect();
+        let mut stats: Vec<OnlineStats> = vec![OnlineStats::new(); names.len()];
+        for _ in 0..probes {
+            if self.out_of_budget() {
+                break;
+            }
+            let point = self.space.random_point(&mut self.rng);
+            if let Some(measurement) = self.measure(&point) {
+                for (i, name) in names.iter().enumerate() {
+                    stats[i].push(measurement.counters.value(name).unwrap_or(0.0));
+                }
+            }
+        }
+        let mut ranked: Vec<(String, f64)> = names
+            .into_iter()
+            .zip(stats.iter().map(|s| s.coefficient_of_variation()))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.into_iter().map(|(n, _)| n).collect()
+    }
+
+    /// Number of discoveries so far (strategies use this to notice that the
+    /// last measurement uncovered something new and restart their walk).
+    pub(crate) fn discovery_count(&self) -> usize {
+        self.discoveries.len()
+    }
+
+    /// Finish the campaign and hand back the outcome.
+    pub(crate) fn finish(self) -> SearchOutcome {
+        SearchOutcome {
+            label: self.config.label(),
+            discoveries: self.discoveries,
+            rule_hits: self.rule_hits,
+            trace: self.trace,
+            experiments: self.experiments,
+            skipped_by_mfs: self.skipped,
+            elapsed: self.elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collie_rnic::subsystems::SubsystemId;
+    use collie_rnic::workload::{Opcode, Transport};
+
+    fn setup() -> (WorkloadEngine, SearchSpace, AnomalyMonitor, SearchConfig) {
+        (
+            WorkloadEngine::for_catalog(SubsystemId::F),
+            SearchSpace::for_host(&SubsystemId::F.host()),
+            AnomalyMonitor::new(),
+            SearchConfig::collie(3).with_budget(SimDuration::from_secs(7200)),
+        )
+    }
+
+    #[test]
+    fn measuring_an_anomalous_point_records_a_discovery_with_mfs() {
+        let (mut engine, space, monitor, config) = setup();
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut point = SearchPoint::benign();
+        point.transport = Transport::Ud;
+        point.opcode = Opcode::Send;
+        point.wqe_batch = 64;
+        point.recv_queue_depth = 256;
+        point.mtu = 2048;
+        point.messages = vec![2048];
+        campaign.measure(&point).unwrap();
+        let outcome = campaign.finish();
+        assert_eq!(outcome.discoveries.len(), 1);
+        let d = &outcome.discoveries[0];
+        assert!(d.matched_rules.contains(&"collie/1".to_string()));
+        assert!(d.mfs.matches(&point));
+        assert!(outcome.experiments > 1, "MFS extraction charges experiments");
+        assert!(!outcome.trace.anomaly_samples().is_empty());
+    }
+
+    #[test]
+    fn repeated_sightings_of_the_same_anomaly_count_once() {
+        let (mut engine, space, monitor, config) = setup();
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut point = SearchPoint::benign();
+        point.transport = Transport::Ud;
+        point.opcode = Opcode::Send;
+        point.wqe_batch = 64;
+        point.recv_queue_depth = 256;
+        campaign.measure(&point).unwrap();
+        // A harsher variant inside the same MFS.
+        point.wqe_batch = 128;
+        assert!(campaign.matches_known_mfs(&point), "should be skippable");
+        campaign.measure(&point).unwrap();
+        let outcome = campaign.finish();
+        assert_eq!(outcome.discoveries.len(), 1);
+        assert_eq!(outcome.skipped_by_mfs, 1);
+        assert_eq!(outcome.distinct_known_anomalies().len(), 1);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (mut engine, space, monitor, _) = setup();
+        let config = SearchConfig::collie(3).with_budget(SimDuration::from_secs(45));
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let p = SearchPoint::benign();
+        assert!(campaign.measure(&p).is_some());
+        // Budget (45 s) is consumed by the first experiment (>= 20 s) plus
+        // the second; afterwards measure refuses to run.
+        campaign.measure(&p);
+        assert!(campaign.measure(&p).is_none() || campaign.out_of_budget());
+    }
+
+    #[test]
+    fn energy_delta_directions() {
+        let (mut engine, space, monitor, config) = setup();
+        let campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        // Diagnostic mode: higher counter value = negative delta (better).
+        assert!(campaign.energy_delta(10.0, 20.0) < 0.0);
+        assert!(campaign.energy_delta(20.0, 10.0) > 0.0);
+        let perf_config = SearchConfig::collie(3).with_signal(SignalMode::Performance);
+        let mut engine2 = WorkloadEngine::for_catalog(SubsystemId::F);
+        let campaign2 = Campaign::new(&mut engine2, &space, &monitor, &perf_config);
+        // Performance mode: lower counter value = negative delta (better).
+        assert!(campaign2.energy_delta(20.0, 10.0) < 0.0);
+        assert!(campaign2.energy_delta(10.0, 20.0) > 0.0);
+    }
+
+    #[test]
+    fn counter_ranking_returns_all_nine_diagnostic_counters() {
+        let (mut engine, space, monitor, config) = setup();
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let ranked = campaign.rank_counters(10);
+        assert_eq!(ranked.len(), 9);
+        assert!(ranked.iter().all(|n| n.starts_with("diag/")));
+    }
+
+    #[test]
+    fn time_to_find_and_milestones() {
+        let outcome = SearchOutcome {
+            label: "test".to_string(),
+            discoveries: vec![],
+            rule_hits: vec![],
+            trace: TimeSeries::new("t"),
+            experiments: 0,
+            skipped_by_mfs: 0,
+            elapsed: SimDuration::ZERO,
+        };
+        assert_eq!(outcome.time_to_find(1), None);
+        assert!(outcome.milestones().is_empty());
+    }
+
+    #[test]
+    fn rule_hits_are_recorded_for_every_measured_anomalous_point() {
+        let (mut engine, space, monitor, config) = setup();
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        // Two different catalogued triggers, measured back to back.
+        campaign.measure(&crate::catalog::KnownAnomaly::by_id(1).unwrap().trigger);
+        campaign.measure(&crate::catalog::KnownAnomaly::by_id(3).unwrap().trigger);
+        let outcome = campaign.finish();
+        let rules = outcome.distinct_known_anomalies();
+        assert!(rules.contains("collie/1"), "{rules:?}");
+        assert!(rules.contains("collie/3"), "{rules:?}");
+        // Milestones are cumulative and time-ordered.
+        let milestones = outcome.milestones();
+        assert!(milestones.len() >= 2);
+        assert!(milestones.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!(outcome.time_to_find(1).unwrap() <= outcome.time_to_find(2).unwrap());
+    }
+}

@@ -1,0 +1,57 @@
+//! Random input generation (black-box fuzzing baseline, §7.2).
+//!
+//! The simplest way to use Collie's search space: draw uniform random
+//! points and test them. The paper shows this already beats existing
+//! tooling — the space itself is more expressive than Perftest-style
+//! benchmarks — but only uncovers the anomalies with simple triggering
+//! conditions (7 of 13 on subsystem F).
+
+use super::campaign::Campaign;
+
+/// How many redundant (MFS-covered) samples the generator may reject in a
+/// row before testing the next sample anyway. Rejecting a sample costs no
+/// hardware time, but once the discovered MFSes cover most of the space the
+/// baseline must not spin forever generating free rejects.
+const MAX_CONSECUTIVE_SKIPS: u32 = 256;
+
+/// Run the random baseline until the budget is exhausted.
+pub(crate) fn run(campaign: &mut Campaign<'_>) {
+    let mut consecutive_skips = 0u32;
+    while !campaign.out_of_budget() {
+        let point = campaign.space.random_point(&mut campaign.rng);
+        if consecutive_skips < MAX_CONSECUTIVE_SKIPS && campaign.matches_known_mfs(&point) {
+            consecutive_skips += 1;
+            continue;
+        }
+        consecutive_skips = 0;
+        if campaign.measure(&point).is_none() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::WorkloadEngine;
+    use crate::search::{run_search, SearchConfig, SearchStrategy};
+    use crate::space::SearchSpace;
+    use collie_rnic::subsystems::SubsystemId;
+    use collie_sim::time::SimDuration;
+
+    #[test]
+    fn random_search_finds_simple_anomalies_on_subsystem_f() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let config = SearchConfig {
+            strategy: SearchStrategy::Random,
+            ..SearchConfig::collie(11)
+        }
+        .with_budget(SimDuration::from_secs(2 * 3600));
+        let outcome = run_search(&mut engine, &space, &config);
+        assert!(
+            !outcome.distinct_known_anomalies().is_empty(),
+            "two simulated hours of random probing should stumble on something"
+        );
+        assert!(outcome.experiments > 50);
+    }
+}

@@ -1,0 +1,179 @@
+//! Feature names and values.
+//!
+//! A [`Feature`] is one coordinate of the search space — the unit the MFS
+//! algorithm tests for necessity and the unit the mutation operator
+//! perturbs. Features group into the paper's four [`Dimension`]s.
+
+use collie_host::memory::MemoryTarget;
+use collie_rnic::workload::{Opcode, Transport};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's four search dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dimension {
+    /// Dimension 1: where traffic comes from and goes to.
+    HostTopology,
+    /// Dimension 2: memory-region allocation settings.
+    MemoryAllocation,
+    /// Dimension 3: transport settings.
+    Transport,
+    /// Dimension 4: the request-size pattern.
+    MessagePattern,
+}
+
+/// One coordinate of a search point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum Feature {
+    /// Memory device the sender reads payloads from.
+    SrcMemory,
+    /// Memory device the receiver writes payloads into.
+    DstMemory,
+    /// Whether traffic runs in both directions.
+    Bidirectional,
+    /// Whether a collocated (loopback) flow coexists with the remote flow.
+    Loopback,
+    /// Memory regions registered per QP.
+    MrsPerQp,
+    /// Size of each memory region.
+    MrSize,
+    /// QP transport type (mutating it may also change the opcode to stay
+    /// valid).
+    Transport,
+    /// Operation code.
+    Opcode,
+    /// Number of QPs.
+    NumQps,
+    /// Work requests posted per doorbell.
+    WqeBatch,
+    /// Scatter/gather entries per work request.
+    SgePerWqe,
+    /// Send queue depth.
+    SendQueueDepth,
+    /// Receive queue depth.
+    RecvQueueDepth,
+    /// Path MTU.
+    Mtu,
+    /// The request-size vector.
+    MessagePattern,
+}
+
+impl Feature {
+    /// Every feature, in a stable order.
+    pub const ALL: [Feature; 15] = [
+        Feature::SrcMemory,
+        Feature::DstMemory,
+        Feature::Bidirectional,
+        Feature::Loopback,
+        Feature::MrsPerQp,
+        Feature::MrSize,
+        Feature::Transport,
+        Feature::Opcode,
+        Feature::NumQps,
+        Feature::WqeBatch,
+        Feature::SgePerWqe,
+        Feature::SendQueueDepth,
+        Feature::RecvQueueDepth,
+        Feature::Mtu,
+        Feature::MessagePattern,
+    ];
+
+    /// Which of the paper's four dimensions this feature belongs to.
+    pub fn dimension(self) -> Dimension {
+        match self {
+            Feature::SrcMemory
+            | Feature::DstMemory
+            | Feature::Bidirectional
+            | Feature::Loopback => Dimension::HostTopology,
+            Feature::MrsPerQp | Feature::MrSize => Dimension::MemoryAllocation,
+            Feature::Transport
+            | Feature::Opcode
+            | Feature::NumQps
+            | Feature::WqeBatch
+            | Feature::SgePerWqe
+            | Feature::SendQueueDepth
+            | Feature::RecvQueueDepth
+            | Feature::Mtu => Dimension::Transport,
+            Feature::MessagePattern => Dimension::MessagePattern,
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Feature::SrcMemory => "source memory",
+            Feature::DstMemory => "destination memory",
+            Feature::Bidirectional => "bidirectional traffic",
+            Feature::Loopback => "loopback co-existence",
+            Feature::MrsPerQp => "MRs per QP",
+            Feature::MrSize => "MR size",
+            Feature::Transport => "transport",
+            Feature::Opcode => "opcode",
+            Feature::NumQps => "number of QPs",
+            Feature::WqeBatch => "WQE batch size",
+            Feature::SgePerWqe => "SG entries per WQE",
+            Feature::SendQueueDepth => "send queue depth",
+            Feature::RecvQueueDepth => "receive queue depth",
+            Feature::Mtu => "MTU",
+            Feature::MessagePattern => "message pattern",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A concrete value of one feature (the currency of MFS probing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureValue {
+    /// A numeric value (QP counts, batch sizes, depths, sizes in bytes).
+    Number(u64),
+    /// A boolean toggle (bidirectional, loopback).
+    Flag(bool),
+    /// A memory target.
+    Memory(MemoryTarget),
+    /// A transport/opcode pair (changed together to remain valid).
+    TransportOpcode(Transport, Opcode),
+    /// A request-size vector.
+    Pattern(Vec<u64>),
+}
+
+impl fmt::Display for FeatureValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureValue::Number(n) => write!(f, "{n}"),
+            FeatureValue::Flag(b) => write!(f, "{b}"),
+            FeatureValue::Memory(m) => write!(f, "{m}"),
+            FeatureValue::TransportOpcode(t, o) => write!(f, "{t} {o}"),
+            FeatureValue::Pattern(sizes) => write!(f, "{sizes:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_feature_maps_to_a_dimension() {
+        let mut per_dimension = std::collections::HashMap::new();
+        for f in Feature::ALL {
+            *per_dimension.entry(f.dimension()).or_insert(0usize) += 1;
+        }
+        assert_eq!(per_dimension.len(), 4, "all four dimensions are populated");
+        assert_eq!(per_dimension[&Dimension::HostTopology], 4);
+        assert_eq!(per_dimension[&Dimension::MemoryAllocation], 2);
+        assert_eq!(per_dimension[&Dimension::Transport], 8);
+        assert_eq!(per_dimension[&Dimension::MessagePattern], 1);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Feature::NumQps.to_string(), "number of QPs");
+        assert_eq!(FeatureValue::Number(64).to_string(), "64");
+        assert_eq!(FeatureValue::Flag(true).to_string(), "true");
+        assert_eq!(
+            FeatureValue::TransportOpcode(Transport::Rc, Opcode::Read).to_string(),
+            "RC READ"
+        );
+    }
+}

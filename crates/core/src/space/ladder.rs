@@ -1,0 +1,147 @@
+//! Bounded value ladders for the numeric features.
+//!
+//! The paper bounds every dimension (at most 20 K QPs, at most 200 K MRs,
+//! request sizes discretised by MTU and burst boundaries). Mutation moves a
+//! value one rung up or down its ladder, which is what gives simulated
+//! annealing a meaningful notion of a "neighbouring" workload.
+
+use collie_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The value ladders of the numeric features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ladders {
+    /// Candidate QP counts (bounded by the 20 K limit of §4).
+    pub num_qps: Vec<u32>,
+    /// Candidate WQE batch sizes.
+    pub wqe_batch: Vec<u32>,
+    /// Candidate SG list lengths.
+    pub sge_per_wqe: Vec<u32>,
+    /// Candidate send/receive queue depths.
+    pub queue_depths: Vec<u32>,
+    /// Valid RDMA path MTUs.
+    pub mtus: Vec<u32>,
+    /// Candidate MR counts per QP (bounded so the total stays below 200 K).
+    pub mrs_per_qp: Vec<u32>,
+    /// Candidate MR sizes in bytes.
+    pub mr_sizes: Vec<u64>,
+    /// Candidate request sizes in bytes (discretised around MTU and burst
+    /// boundaries as §4 describes).
+    pub message_sizes: Vec<u64>,
+}
+
+impl Default for Ladders {
+    fn default() -> Self {
+        Ladders {
+            num_qps: vec![1, 2, 4, 8, 16, 32, 64, 80, 128, 160, 256, 320, 480, 512, 640, 1024, 1536, 2048],
+            wqe_batch: vec![1, 2, 4, 8, 16, 32, 64, 128],
+            sge_per_wqe: vec![1, 2, 3, 4, 8, 16],
+            queue_depths: vec![16, 32, 64, 128, 256, 512, 1024, 2048],
+            mtus: vec![256, 512, 1024, 2048, 4096],
+            mrs_per_qp: vec![1, 2, 8, 32, 128, 512, 1024],
+            mr_sizes: vec![
+                4 * 1024,
+                16 * 1024,
+                64 * 1024,
+                256 * 1024,
+                1024 * 1024,
+                4 * 1024 * 1024,
+            ],
+            message_sizes: vec![
+                64, 128, 256, 512, 1024, 2048, 4096, 8192, 16 * 1024, 64 * 1024, 256 * 1024,
+                1024 * 1024, 4 * 1024 * 1024,
+            ],
+        }
+    }
+}
+
+/// Move `current` one rung up or down `ladder` (uniformly choosing the
+/// direction; at an end of the ladder the move goes inward). If `current`
+/// is not exactly on the ladder the nearest rung is used as the starting
+/// position.
+pub fn step<T>(ladder: &[T], current: T, rng: &mut SimRng) -> T
+where
+    T: Copy + PartialOrd,
+{
+    assert!(!ladder.is_empty(), "ladder must not be empty");
+    // Find the nearest rung at or above `current` (ladders are ascending).
+    let mut idx = ladder
+        .iter()
+        .position(|v| *v >= current)
+        .unwrap_or(ladder.len() - 1);
+    if idx > 0 && ladder[idx] > current {
+        // `current` sits between rungs; half the time start from the rung
+        // below so both neighbours stay reachable.
+        if rng.gen_bool(0.5) {
+            idx -= 1;
+        }
+    }
+    let up = rng.gen_bool(0.5);
+    let next = if up {
+        (idx + 1).min(ladder.len() - 1)
+    } else {
+        idx.saturating_sub(1)
+    };
+    if next == idx {
+        // Bounce off the end of the ladder.
+        if up {
+            ladder[idx.saturating_sub(1)]
+        } else {
+            ladder[(idx + 1).min(ladder.len() - 1)]
+        }
+    } else {
+        ladder[next]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_are_sorted_and_bounded() {
+        let l = Ladders::default();
+        for ladder in [&l.num_qps, &l.wqe_batch, &l.sge_per_wqe, &l.queue_depths, &l.mtus, &l.mrs_per_qp] {
+            assert!(ladder.windows(2).all(|w| w[0] < w[1]), "{ladder:?} not ascending");
+        }
+        assert!(l.num_qps.iter().all(|&q| q <= 20_000));
+        assert!(l
+            .mrs_per_qp
+            .iter()
+            .zip(l.num_qps.iter())
+            .all(|(&m, &q)| (m as u64) * (q as u64) <= 200_000 * 128));
+        assert!(l.mtus == vec![256, 512, 1024, 2048, 4096]);
+    }
+
+    #[test]
+    fn step_moves_to_adjacent_rung() {
+        let l = Ladders::default();
+        let mut rng = SimRng::new(5);
+        for _ in 0..200 {
+            let next = step(&l.wqe_batch, 16, &mut rng);
+            assert!(next == 8 || next == 32, "unexpected step target {next}");
+        }
+    }
+
+    #[test]
+    fn step_at_ladder_ends_moves_inward() {
+        let l = Ladders::default();
+        let mut rng = SimRng::new(6);
+        for _ in 0..50 {
+            let from_bottom = step(&l.wqe_batch, 1, &mut rng);
+            assert_eq!(from_bottom, 2);
+            let from_top = step(&l.wqe_batch, 128, &mut rng);
+            assert_eq!(from_top, 64);
+        }
+    }
+
+    #[test]
+    fn step_from_off_ladder_value_lands_on_ladder() {
+        let l = Ladders::default();
+        let mut rng = SimRng::new(7);
+        for _ in 0..100 {
+            let next = step(&l.num_qps, 100, &mut rng);
+            assert!(l.num_qps.contains(&next));
+        }
+    }
+}

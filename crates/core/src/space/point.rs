@@ -1,0 +1,243 @@
+//! One point in the workload search space.
+
+use super::feature::{Feature, FeatureValue};
+use super::SearchSpace;
+use collie_host::memory::MemoryTarget;
+use collie_rnic::workload::{Opcode, Transport};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete workload description in search-space coordinates.
+///
+/// The workload engine translates a point into the flow-level
+/// [`WorkloadSpec`](collie_rnic::workload::WorkloadSpec) the subsystem model
+/// evaluates; the MFS algorithm perturbs points one [`Feature`] at a time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchPoint {
+    /// Dimension 1: memory the sender reads payloads from.
+    pub src_memory: MemoryTarget,
+    /// Dimension 1: memory the receiver writes payloads into.
+    pub dst_memory: MemoryTarget,
+    /// Dimension 1: whether the same traffic also runs in the reverse
+    /// direction.
+    pub bidirectional: bool,
+    /// Dimension 1: whether a collocated (loopback) copy of the traffic
+    /// coexists on host A.
+    pub with_loopback: bool,
+    /// Dimension 2: MRs registered per QP.
+    pub mrs_per_qp: u32,
+    /// Dimension 2: size of each MR in bytes.
+    pub mr_size_bytes: u64,
+    /// Dimension 3: transport type.
+    pub transport: Transport,
+    /// Dimension 3: opcode.
+    pub opcode: Opcode,
+    /// Dimension 3: number of QPs per direction.
+    pub num_qps: u32,
+    /// Dimension 3: work requests posted per doorbell.
+    pub wqe_batch: u32,
+    /// Dimension 3: scatter/gather entries per work request.
+    pub sge_per_wqe: u32,
+    /// Dimension 3: send queue depth per QP.
+    pub send_queue_depth: u32,
+    /// Dimension 3: receive queue depth per QP.
+    pub recv_queue_depth: u32,
+    /// Dimension 3: path MTU in bytes.
+    pub mtu: u32,
+    /// Dimension 4: the repeating request-size vector.
+    pub messages: Vec<u64>,
+}
+
+impl SearchPoint {
+    /// A small, deliberately benign workload (a Perftest-like single-QP
+    /// large-message WRITE), used as a neutral starting point in tests and
+    /// examples.
+    pub fn benign() -> SearchPoint {
+        SearchPoint {
+            src_memory: MemoryTarget::local_dram(),
+            dst_memory: MemoryTarget::local_dram(),
+            bidirectional: false,
+            with_loopback: false,
+            mrs_per_qp: 1,
+            mr_size_bytes: 64 * 1024,
+            transport: Transport::Rc,
+            opcode: Opcode::Write,
+            num_qps: 8,
+            wqe_batch: 16,
+            sge_per_wqe: 1,
+            send_queue_depth: 128,
+            recv_queue_depth: 128,
+            mtu: 4096,
+            messages: vec![64 * 1024],
+        }
+    }
+
+    /// Read the current value of one feature.
+    pub fn feature_value(&self, feature: Feature) -> FeatureValue {
+        match feature {
+            Feature::SrcMemory => FeatureValue::Memory(self.src_memory),
+            Feature::DstMemory => FeatureValue::Memory(self.dst_memory),
+            Feature::Bidirectional => FeatureValue::Flag(self.bidirectional),
+            Feature::Loopback => FeatureValue::Flag(self.with_loopback),
+            Feature::MrsPerQp => FeatureValue::Number(self.mrs_per_qp as u64),
+            Feature::MrSize => FeatureValue::Number(self.mr_size_bytes),
+            Feature::Transport | Feature::Opcode => {
+                FeatureValue::TransportOpcode(self.transport, self.opcode)
+            }
+            Feature::NumQps => FeatureValue::Number(self.num_qps as u64),
+            Feature::WqeBatch => FeatureValue::Number(self.wqe_batch as u64),
+            Feature::SgePerWqe => FeatureValue::Number(self.sge_per_wqe as u64),
+            Feature::SendQueueDepth => FeatureValue::Number(self.send_queue_depth as u64),
+            Feature::RecvQueueDepth => FeatureValue::Number(self.recv_queue_depth as u64),
+            Feature::Mtu => FeatureValue::Number(self.mtu as u64),
+            Feature::MessagePattern => FeatureValue::Pattern(self.messages.clone()),
+        }
+    }
+
+    /// Overwrite one feature with a concrete value (used by MFS probing).
+    /// Values of the wrong kind are ignored.
+    pub fn apply(&mut self, feature: Feature, value: &FeatureValue) {
+        match (feature, value) {
+            (Feature::SrcMemory, FeatureValue::Memory(m)) => self.src_memory = *m,
+            (Feature::DstMemory, FeatureValue::Memory(m)) => self.dst_memory = *m,
+            (Feature::Bidirectional, FeatureValue::Flag(b)) => self.bidirectional = *b,
+            (Feature::Loopback, FeatureValue::Flag(b)) => self.with_loopback = *b,
+            (Feature::MrsPerQp, FeatureValue::Number(n)) => self.mrs_per_qp = *n as u32,
+            (Feature::MrSize, FeatureValue::Number(n)) => self.mr_size_bytes = *n,
+            (Feature::Transport, FeatureValue::TransportOpcode(t, o))
+            | (Feature::Opcode, FeatureValue::TransportOpcode(t, o)) => {
+                self.transport = *t;
+                self.opcode = *o;
+            }
+            (Feature::NumQps, FeatureValue::Number(n)) => self.num_qps = *n as u32,
+            (Feature::WqeBatch, FeatureValue::Number(n)) => self.wqe_batch = *n as u32,
+            (Feature::SgePerWqe, FeatureValue::Number(n)) => self.sge_per_wqe = *n as u32,
+            (Feature::SendQueueDepth, FeatureValue::Number(n)) => {
+                self.send_queue_depth = *n as u32
+            }
+            (Feature::RecvQueueDepth, FeatureValue::Number(n)) => {
+                self.recv_queue_depth = *n as u32
+            }
+            (Feature::Mtu, FeatureValue::Number(n)) => self.mtu = *n as u32,
+            (Feature::MessagePattern, FeatureValue::Pattern(sizes)) => {
+                self.messages = sizes.clone();
+            }
+            _ => {}
+        }
+    }
+
+    /// Basic structural validity: the transport/opcode pair is legal, the
+    /// categorical values are drawn from the space, and the numeric values
+    /// are positive.
+    pub fn is_well_formed(&self, space: &SearchSpace) -> bool {
+        self.opcode.valid_on(self.transport)
+            && space.memory_targets.contains(&self.src_memory)
+            && space.memory_targets.contains(&self.dst_memory)
+            && self.num_qps > 0
+            && self.wqe_batch > 0
+            && self.sge_per_wqe > 0
+            && self.send_queue_depth > 0
+            && self.recv_queue_depth > 0
+            && self.mtu >= 256
+            && self.mrs_per_qp > 0
+            && self.mr_size_bytes > 0
+            && !self.messages.is_empty()
+            && self.messages.iter().all(|&m| m > 0)
+    }
+
+    /// Total MRs this point registers per host.
+    pub fn total_mrs(&self) -> u64 {
+        self.num_qps as u64 * self.mrs_per_qp as u64
+    }
+
+    /// Mean request size in bytes.
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.messages.is_empty() {
+            0.0
+        } else {
+            self.messages.iter().sum::<u64>() as f64 / self.messages.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for SearchPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} x{} qps, batch {}, sge {}, wq {}/{}, mtu {}, {} MRs x {}B, msgs {:?}{}{}{}",
+            self.transport,
+            self.opcode,
+            self.num_qps,
+            self.wqe_batch,
+            self.sge_per_wqe,
+            self.send_queue_depth,
+            self.recv_queue_depth,
+            self.mtu,
+            self.mrs_per_qp,
+            self.mr_size_bytes,
+            self.messages,
+            if self.bidirectional { ", bidirectional" } else { "" },
+            if self.with_loopback { ", +loopback" } else { "" },
+            if self.src_memory.is_gpu() || self.dst_memory.is_gpu() {
+                ", gpu-direct"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collie_host::presets;
+    use collie_sim::units::ByteSize;
+
+    #[test]
+    fn feature_value_roundtrip_through_apply() {
+        let host = presets::intel_xeon_gpu_host("t", ByteSize::from_gib(128), true);
+        let space = SearchSpace::for_host(&host);
+        let mut rng = collie_sim::rng::SimRng::new(2);
+        let a = space.random_point(&mut rng);
+        let mut b = SearchPoint::benign();
+        for f in Feature::ALL {
+            b.apply(f, &a.feature_value(f));
+        }
+        assert_eq!(a, b, "applying every feature value reproduces the point");
+    }
+
+    #[test]
+    fn apply_ignores_mismatched_value_kinds() {
+        let mut p = SearchPoint::benign();
+        let before = p.clone();
+        p.apply(Feature::NumQps, &FeatureValue::Flag(true));
+        p.apply(Feature::Bidirectional, &FeatureValue::Number(3));
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn benign_point_is_well_formed() {
+        let host = presets::intel_xeon_host("t", 2, ByteSize::from_gib(128), false);
+        let space = SearchSpace::for_host(&host);
+        assert!(SearchPoint::benign().is_well_formed(&space));
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let mut p = SearchPoint::benign();
+        p.num_qps = 10;
+        p.mrs_per_qp = 7;
+        p.messages = vec![100, 300];
+        assert_eq!(p.total_mrs(), 70);
+        assert_eq!(p.mean_message_bytes(), 200.0);
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let mut p = SearchPoint::benign();
+        p.bidirectional = true;
+        let s = p.to_string();
+        assert!(s.contains("RC WRITE"));
+        assert!(s.contains("bidirectional"));
+    }
+}

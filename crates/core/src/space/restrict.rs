@@ -1,0 +1,208 @@
+//! Application-level space restrictions (§7.3, anomaly prevention).
+//!
+//! Before an application is implemented, its developers know roughly what
+//! workloads it can generate: which transports it will use, how many
+//! connections it opens, how large its messages are. Collie lets them
+//! restrict the search space to that envelope and then reports whether any
+//! anomaly lies inside it. [`SpaceRestriction`] is that envelope.
+
+use super::point::SearchPoint;
+use super::SearchSpace;
+use collie_rnic::workload::{Opcode, Transport};
+use collie_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A developer-supplied envelope of the workloads an application can emit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SpaceRestriction {
+    /// Transports the application uses (empty = unrestricted).
+    pub transports: Vec<Transport>,
+    /// Opcodes the application uses (empty = unrestricted).
+    pub opcodes: Vec<Opcode>,
+    /// Upper bound on the number of QPs, if known.
+    pub max_qps: Option<u32>,
+    /// Upper bound on the WQE batch size, if known.
+    pub max_wqe_batch: Option<u32>,
+    /// Upper bound on the SG list length, if known.
+    pub max_sge: Option<u32>,
+    /// Upper bound on the receive queue depth, if known.
+    pub max_recv_queue_depth: Option<u32>,
+    /// Whether the application ever generates bidirectional traffic.
+    pub allow_bidirectional: bool,
+    /// Whether the application can be collocated with its peer (loopback).
+    pub allow_loopback: bool,
+    /// Whether the application registers GPU memory.
+    pub allow_gpu_memory: bool,
+}
+
+impl SpaceRestriction {
+    /// An unrestricted envelope (everything allowed).
+    pub fn unrestricted() -> Self {
+        SpaceRestriction {
+            allow_bidirectional: true,
+            allow_loopback: true,
+            allow_gpu_memory: true,
+            ..Default::default()
+        }
+    }
+
+    /// The envelope of the paper's RC-only RPC library (§7.3): reliable
+    /// connections only, no GPU memory, bounded connection counts.
+    pub fn rpc_library() -> Self {
+        SpaceRestriction {
+            transports: vec![Transport::Rc],
+            opcodes: vec![Opcode::Send, Opcode::Write, Opcode::Read],
+            max_qps: Some(512),
+            max_wqe_batch: None,
+            max_sge: None,
+            max_recv_queue_depth: None,
+            allow_bidirectional: true,
+            allow_loopback: false,
+            allow_gpu_memory: false,
+        }
+    }
+
+    /// True if `point` lies inside the envelope.
+    pub fn allows(&self, point: &SearchPoint) -> bool {
+        (self.transports.is_empty() || self.transports.contains(&point.transport))
+            && (self.opcodes.is_empty() || self.opcodes.contains(&point.opcode))
+            && self.max_qps.map_or(true, |m| point.num_qps <= m)
+            && self.max_wqe_batch.map_or(true, |m| point.wqe_batch <= m)
+            && self.max_sge.map_or(true, |m| point.sge_per_wqe <= m)
+            && self
+                .max_recv_queue_depth
+                .map_or(true, |m| point.recv_queue_depth <= m)
+            && (self.allow_bidirectional || !point.bidirectional)
+            && (self.allow_loopback || !point.with_loopback)
+            && (self.allow_gpu_memory
+                || (!point.src_memory.is_gpu() && !point.dst_memory.is_gpu()))
+    }
+
+    /// Pull a point back inside the envelope (used after random sampling or
+    /// mutation so the restricted search never leaves the envelope).
+    pub fn clamp(&self, point: &mut SearchPoint, space: &SearchSpace, rng: &mut SimRng) {
+        if !self.transports.is_empty() && !self.transports.contains(&point.transport) {
+            let candidates: Vec<(Transport, Opcode)> = space
+                .transports
+                .iter()
+                .copied()
+                .filter(|(t, _)| self.transports.contains(t))
+                .collect();
+            if !candidates.is_empty() {
+                let (t, o) = *rng.choose(&candidates);
+                point.transport = t;
+                point.opcode = o;
+            }
+        }
+        if !self.opcodes.is_empty() && !self.opcodes.contains(&point.opcode) {
+            let candidates: Vec<Opcode> = self
+                .opcodes
+                .iter()
+                .copied()
+                .filter(|o| o.valid_on(point.transport))
+                .collect();
+            if !candidates.is_empty() {
+                point.opcode = *rng.choose(&candidates);
+            }
+        }
+        if let Some(m) = self.max_qps {
+            point.num_qps = point.num_qps.min(m);
+        }
+        if let Some(m) = self.max_wqe_batch {
+            point.wqe_batch = point.wqe_batch.min(m);
+        }
+        if let Some(m) = self.max_sge {
+            point.sge_per_wqe = point.sge_per_wqe.min(m);
+        }
+        if let Some(m) = self.max_recv_queue_depth {
+            point.recv_queue_depth = point.recv_queue_depth.min(m);
+        }
+        if !self.allow_bidirectional {
+            point.bidirectional = false;
+        }
+        if !self.allow_loopback {
+            point.with_loopback = false;
+        }
+        if !self.allow_gpu_memory {
+            if point.src_memory.is_gpu() {
+                point.src_memory = collie_host::memory::MemoryTarget::local_dram();
+            }
+            if point.dst_memory.is_gpu() {
+                point.dst_memory = collie_host::memory::MemoryTarget::local_dram();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collie_host::memory::MemoryTarget;
+    use collie_host::presets;
+    use collie_sim::units::ByteSize;
+
+    fn space() -> SearchSpace {
+        SearchSpace::for_host(&presets::intel_xeon_gpu_host(
+            "t",
+            ByteSize::from_gib(512),
+            true,
+        ))
+    }
+
+    #[test]
+    fn rpc_envelope_rejects_ud_and_gpu_points() {
+        let r = SpaceRestriction::rpc_library();
+        let mut p = SearchPoint::benign();
+        assert!(r.allows(&p));
+        p.transport = Transport::Ud;
+        p.opcode = Opcode::Send;
+        assert!(!r.allows(&p));
+        p.transport = Transport::Rc;
+        p.dst_memory = MemoryTarget::GpuMemory { gpu_id: 0 };
+        assert!(!r.allows(&p));
+    }
+
+    #[test]
+    fn clamp_brings_points_inside() {
+        let r = SpaceRestriction::rpc_library();
+        let s = space().restricted(r.clone());
+        let mut rng = SimRng::new(9);
+        for _ in 0..200 {
+            let p = s.random_point(&mut rng);
+            assert!(r.allows(&p), "restricted sampling left the envelope: {p}");
+            let q = s.mutate(&p, &mut rng);
+            assert!(r.allows(&q), "restricted mutation left the envelope: {q}");
+        }
+    }
+
+    #[test]
+    fn unrestricted_allows_everything_sampled() {
+        let r = SpaceRestriction::unrestricted();
+        let s = space();
+        let mut rng = SimRng::new(10);
+        for _ in 0..100 {
+            assert!(r.allows(&s.random_point(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn numeric_bounds_are_enforced() {
+        let r = SpaceRestriction {
+            max_qps: Some(16),
+            max_wqe_batch: Some(4),
+            allow_bidirectional: true,
+            allow_loopback: true,
+            allow_gpu_memory: true,
+            ..Default::default()
+        };
+        let mut p = SearchPoint::benign();
+        p.num_qps = 1024;
+        p.wqe_batch = 64;
+        assert!(!r.allows(&p));
+        let s = space();
+        let mut rng = SimRng::new(11);
+        r.clamp(&mut p, &s, &mut rng);
+        assert!(p.num_qps <= 16 && p.wqe_batch <= 4);
+        assert!(r.allows(&p));
+    }
+}

@@ -1,0 +1,129 @@
+//! Data Direct I/O (DDIO) and last-level-cache behaviour.
+//!
+//! Dimension 2 of the search space (memory-allocation settings) notes that
+//! many RNICs DMA directly into the CPU's last-level cache via Intel DDIO,
+//! and that a large MR access range defeats this: the working set no longer
+//! fits in the LLC ways reserved for I/O, inbound writes go to DRAM, and
+//! the extra latency shows up as PCIe back-pressure on the NIC. We model
+//! DDIO as a hit-fraction function of the I/O working-set size.
+
+use collie_sim::units::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// DDIO / last-level-cache model for one socket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdioModel {
+    /// Whether DDIO (or the platform's equivalent) is active.
+    pub enabled: bool,
+    /// Total last-level cache size of the socket.
+    pub llc_size: ByteSize,
+    /// Fraction of the LLC ways available to inbound I/O (Intel defaults to
+    /// 2 of 11 ways ≈ 0.18).
+    pub io_way_fraction: f64,
+    /// Extra DMA latency in nanoseconds paid when an inbound write misses
+    /// the LLC and has to go to DRAM.
+    pub miss_penalty_ns: u64,
+}
+
+impl Default for DdioModel {
+    fn default() -> Self {
+        DdioModel {
+            enabled: true,
+            llc_size: ByteSize::from_mib(32),
+            io_way_fraction: 0.18,
+            miss_penalty_ns: 60,
+        }
+    }
+}
+
+impl DdioModel {
+    /// A model with DDIO disabled (all inbound DMA goes to DRAM).
+    pub fn disabled() -> Self {
+        DdioModel {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Capacity usable by inbound I/O.
+    pub fn io_capacity(&self) -> ByteSize {
+        ByteSize::from_bytes((self.llc_size.as_f64() * self.io_way_fraction) as u64)
+    }
+
+    /// Fraction of inbound DMA writes expected to hit the LLC for a given
+    /// I/O working-set size (the total bytes of MR space the workload
+    /// actively touches). 1.0 when the working set fits, decaying towards 0
+    /// as it grows; always 0 when DDIO is disabled.
+    pub fn hit_fraction(&self, working_set: ByteSize) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        let cap = self.io_capacity().as_f64();
+        let ws = working_set.as_f64();
+        if ws <= cap || cap <= 0.0 {
+            if cap <= 0.0 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            (cap / ws).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The average extra latency (ns) inbound DMA pays for a given working
+    /// set, i.e. the miss penalty weighted by the miss fraction.
+    pub fn average_penalty_ns(&self, working_set: ByteSize) -> f64 {
+        let miss = 1.0 - self.hit_fraction(working_set);
+        miss * self.miss_penalty_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_working_set_hits() {
+        let d = DdioModel::default();
+        assert_eq!(d.hit_fraction(ByteSize::from_mib(1)), 1.0);
+        assert_eq!(d.average_penalty_ns(ByteSize::from_mib(1)), 0.0);
+    }
+
+    #[test]
+    fn large_working_set_misses() {
+        let d = DdioModel::default();
+        let f = d.hit_fraction(ByteSize::from_gib(1));
+        assert!(f < 0.01, "hit fraction {f}");
+        assert!(d.average_penalty_ns(ByteSize::from_gib(1)) > 50.0);
+    }
+
+    #[test]
+    fn hit_fraction_is_monotone_decreasing() {
+        let d = DdioModel::default();
+        let mut last = 1.1;
+        for mib in [1u64, 4, 8, 16, 64, 256, 1024] {
+            let f = d.hit_fraction(ByteSize::from_mib(mib));
+            assert!(f <= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn disabled_ddio_never_hits() {
+        let d = DdioModel::disabled();
+        assert_eq!(d.hit_fraction(ByteSize::from_bytes(64)), 0.0);
+        assert_eq!(d.average_penalty_ns(ByteSize::from_bytes(64)), d.miss_penalty_ns as f64);
+    }
+
+    #[test]
+    fn io_capacity_is_way_fraction_of_llc() {
+        let d = DdioModel {
+            enabled: true,
+            llc_size: ByteSize::from_mib(100),
+            io_way_fraction: 0.5,
+            miss_penalty_ns: 10,
+        };
+        assert_eq!(d.io_capacity(), ByteSize::from_mib(50));
+    }
+}

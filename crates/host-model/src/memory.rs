@@ -1,0 +1,127 @@
+//! DMA-able memory devices.
+//!
+//! Dimension 1 of Collie's search space ("host topology") enumerates the
+//! memory devices traffic can originate from or land in: DRAM attached to
+//! any NUMA node, or the HBM of any GPU in the server (GPU-Direct RDMA).
+//! Which device is chosen determines the DMA path the RNIC has to traverse
+//! and therefore which host-side bottlenecks can be hit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a GPU sits relative to the RNIC in the PCIe fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuPlacement {
+    /// Under the same PCIe switch as the RNIC (shown as PIX/PXB by
+    /// `nvidia-smi topo`); peer-to-peer DMA can be switched locally.
+    SameSwitchAsRnic,
+    /// Under a different PCIe switch on the same socket; P2P traffic must
+    /// traverse the upstream link of both switches.
+    SameSocketDifferentSwitch,
+    /// Attached to the other CPU socket; P2P traffic crosses the socket
+    /// interconnect as well.
+    RemoteSocket,
+}
+
+/// One GPU installed in the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GpuDevice {
+    /// GPU index (as in `nvidia-smi`).
+    pub id: u32,
+    /// The CPU socket whose root complex the GPU descends from.
+    pub socket: u32,
+    /// Placement relative to the RNIC.
+    pub placement: GpuPlacement,
+}
+
+/// A DMA target/source: some memory the application registered an MR over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryTarget {
+    /// Host DRAM attached to a specific NUMA node.
+    HostDram {
+        /// NUMA node the pages are bound to.
+        numa_node: u32,
+    },
+    /// GPU HBM accessed through GPU-Direct RDMA.
+    GpuMemory {
+        /// Index of the GPU whose memory is registered.
+        gpu_id: u32,
+    },
+}
+
+impl MemoryTarget {
+    /// Host DRAM on NUMA node 0 (the common, NIC-affinitive default).
+    pub const fn local_dram() -> Self {
+        MemoryTarget::HostDram { numa_node: 0 }
+    }
+
+    /// True if this target is GPU memory.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, MemoryTarget::GpuMemory { .. })
+    }
+
+    /// The NUMA node for host DRAM targets.
+    pub fn numa_node(&self) -> Option<u32> {
+        match self {
+            MemoryTarget::HostDram { numa_node } => Some(*numa_node),
+            MemoryTarget::GpuMemory { .. } => None,
+        }
+    }
+
+    /// The GPU id for GPU targets.
+    pub fn gpu_id(&self) -> Option<u32> {
+        match self {
+            MemoryTarget::HostDram { .. } => None,
+            MemoryTarget::GpuMemory { gpu_id } => Some(*gpu_id),
+        }
+    }
+}
+
+impl fmt::Display for MemoryTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryTarget::HostDram { numa_node } => write!(f, "dram(numa{numa_node})"),
+            MemoryTarget::GpuMemory { gpu_id } => write!(f, "gpu{gpu_id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_accessors() {
+        let dram = MemoryTarget::HostDram { numa_node: 2 };
+        assert!(!dram.is_gpu());
+        assert_eq!(dram.numa_node(), Some(2));
+        assert_eq!(dram.gpu_id(), None);
+
+        let gpu = MemoryTarget::GpuMemory { gpu_id: 5 };
+        assert!(gpu.is_gpu());
+        assert_eq!(gpu.numa_node(), None);
+        assert_eq!(gpu.gpu_id(), Some(5));
+    }
+
+    #[test]
+    fn local_dram_is_numa_zero() {
+        assert_eq!(MemoryTarget::local_dram(), MemoryTarget::HostDram { numa_node: 0 });
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MemoryTarget::HostDram { numa_node: 1 }.to_string(), "dram(numa1)");
+        assert_eq!(MemoryTarget::GpuMemory { gpu_id: 3 }.to_string(), "gpu3");
+    }
+
+    #[test]
+    fn gpu_device_fields() {
+        let g = GpuDevice {
+            id: 0,
+            socket: 1,
+            placement: GpuPlacement::RemoteSocket,
+        };
+        assert_eq!(g.socket, 1);
+        assert_eq!(g.placement, GpuPlacement::RemoteSocket);
+    }
+}

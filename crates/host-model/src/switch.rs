@@ -1,0 +1,123 @@
+//! The lossless Ethernet switch between the two servers.
+//!
+//! Collie deliberately evaluates a minimal network (§4): two RNICs on one
+//! commodity switch whose ports run at line rate, so the network itself is
+//! never congested and any PFC pause frame must originate from a host. The
+//! switch model therefore only needs to (a) never be the bottleneck, (b)
+//! relay the pause behaviour of the receiver back to the sender, and (c)
+//! count the pause frames it receives — that count is what the operator
+//! (and our anomaly monitor) watches.
+
+use collie_sim::units::BitRate;
+use serde::{Deserialize, Serialize};
+
+/// A two-port lossless top-of-rack switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LosslessSwitch {
+    /// Port speed; both ports run at the same speed and match or exceed the
+    /// RNIC line rate.
+    pub port_speed: BitRate,
+    /// Cut-through forwarding latency in nanoseconds.
+    pub forwarding_latency_ns: u64,
+    pause_seconds_received: [f64; 2],
+}
+
+impl LosslessSwitch {
+    /// A switch whose ports run at `port_speed`.
+    pub fn new(port_speed: BitRate) -> Self {
+        LosslessSwitch {
+            port_speed,
+            forwarding_latency_ns: 600,
+            pause_seconds_received: [0.0; 2],
+        }
+    }
+
+    /// True if the switch can carry `offered` without itself congesting.
+    /// With matched port speeds and two ports this is always true for
+    /// offered loads at or below line rate — the paper's premise that the
+    /// network is congestion-free.
+    pub fn can_carry(&self, offered: BitRate) -> bool {
+        offered.bits_per_sec() <= self.port_speed.bits_per_sec() + 1.0
+    }
+
+    /// Record that the host attached to `port` (0 or 1) asked its switch
+    /// port to pause for `seconds` of transmission time.
+    pub fn record_pause(&mut self, port: usize, seconds: f64) {
+        if port < 2 && seconds > 0.0 {
+            self.pause_seconds_received[port] += seconds;
+        }
+    }
+
+    /// Total pause time received on a port since construction.
+    pub fn pause_seconds(&self, port: usize) -> f64 {
+        if port < 2 {
+            self.pause_seconds_received[port]
+        } else {
+            0.0
+        }
+    }
+
+    /// The pause-duration ratio on a port over an observation window: the
+    /// fraction of the window the upstream queue was told to stay quiet.
+    /// This is the metric the anomaly monitor thresholds at 0.1 %.
+    pub fn pause_duration_ratio(&self, port: usize, window_seconds: f64) -> f64 {
+        if window_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.pause_seconds(port) / window_seconds).clamp(0.0, 1.0)
+    }
+
+    /// Clear pause accounting (between experiments).
+    pub fn reset(&mut self) {
+        self.pause_seconds_received = [0.0; 2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_congested_at_or_below_line_rate() {
+        let sw = LosslessSwitch::new(BitRate::from_gbps(200.0));
+        assert!(sw.can_carry(BitRate::from_gbps(200.0)));
+        assert!(sw.can_carry(BitRate::from_gbps(10.0)));
+        assert!(!sw.can_carry(BitRate::from_gbps(201.0)));
+    }
+
+    #[test]
+    fn pause_accounting_and_ratio() {
+        let mut sw = LosslessSwitch::new(BitRate::from_gbps(100.0));
+        sw.record_pause(0, 0.05);
+        sw.record_pause(0, 0.05);
+        sw.record_pause(1, 0.2);
+        assert!((sw.pause_seconds(0) - 0.1).abs() < 1e-12);
+        assert!((sw.pause_duration_ratio(0, 1.0) - 0.1).abs() < 1e-12);
+        assert!((sw.pause_duration_ratio(1, 1.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_clamps_and_handles_zero_window() {
+        let mut sw = LosslessSwitch::new(BitRate::from_gbps(100.0));
+        sw.record_pause(0, 5.0);
+        assert_eq!(sw.pause_duration_ratio(0, 1.0), 1.0);
+        assert_eq!(sw.pause_duration_ratio(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn invalid_port_is_ignored() {
+        let mut sw = LosslessSwitch::new(BitRate::from_gbps(100.0));
+        sw.record_pause(7, 1.0);
+        assert_eq!(sw.pause_seconds(7), 0.0);
+    }
+
+    #[test]
+    fn negative_pause_is_ignored_and_reset_clears() {
+        let mut sw = LosslessSwitch::new(BitRate::from_gbps(100.0));
+        sw.record_pause(0, -1.0);
+        assert_eq!(sw.pause_seconds(0), 0.0);
+        sw.record_pause(0, 1.0);
+        sw.reset();
+        assert_eq!(sw.pause_seconds(0), 0.0);
+    }
+}

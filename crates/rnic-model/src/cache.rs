@@ -1,0 +1,236 @@
+//! NIC on-chip cache models.
+//!
+//! The RNIC caches three kinds of state in its limited SRAM (Figure 1,
+//! circle 3): per-connection context (QPC, held in ICM), memory-translation
+//! table entries (MTT), and prefetched receive WQEs. When the working set
+//! outgrows the cache the NIC must fetch the state from host DRAM over PCIe
+//! on demand, adding latency to the affected request and consuming PCIe
+//! bandwidth — the mechanism behind the classic RDMA scalability anomalies
+//! (#7, #8) and the receive-WQE anomalies (#1, #2, #5, #6).
+//!
+//! Two models are provided: an exact [`LruCache`] used to validate the
+//! analytical approximation, and [`miss_rate`], the closed-form working-set
+//! estimate the fluid simulator uses (an exact per-access simulation of a
+//! million-entry working set per search iteration would be pointlessly
+//! slow).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Steady-state miss probability of an LRU cache of `capacity` entries that
+/// is offered uniform accesses over a working set of `working_set` entries.
+///
+/// For uniform random access over `W` items with a cache of `C` entries the
+/// steady-state hit rate is `C / W` when `W > C` and 1 otherwise; we smooth
+/// the corner slightly so the search sees a gradient as it approaches the
+/// cliff rather than a step (the real hardware also degrades before the
+/// working set strictly exceeds the cache because of conflict misses).
+pub fn miss_rate(working_set: f64, capacity: f64) -> f64 {
+    if capacity <= 0.0 {
+        return 1.0;
+    }
+    if working_set <= 0.0 {
+        return 0.0;
+    }
+    let ratio = working_set / capacity;
+    if ratio <= 0.8 {
+        0.0
+    } else if ratio <= 1.0 {
+        // Smooth ramp from 0 at 0.8·C to the asymptote's value at C.
+        (ratio - 0.8) / 0.2 * 0.2
+    } else {
+        (1.0 - 1.0 / ratio).max(0.2)
+    }
+}
+
+/// An exact LRU cache over opaque `u64` keys, used by unit and property
+/// tests to sanity-check [`miss_rate`] and by the verbs-layer device model
+/// to track hot QPs precisely when the QP count is small.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LruCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<u64, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access `key`, returning `true` on a hit. Misses insert the key,
+    /// evicting the least recently used entry if the cache is full.
+    pub fn access(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(stamp) = self.entries.get_mut(&key) {
+            *stamp = clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some((&lru_key, _)) = self.entries.iter().min_by_key(|(_, &stamp)| stamp) {
+                self.entries.remove(&lru_key);
+            }
+        }
+        self.entries.insert(key, clock);
+        false
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Observed miss rate over all accesses (0 when nothing was accessed).
+    pub fn observed_miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Forget everything and zero the statistics.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collie_sim::rng::SimRng;
+
+    #[test]
+    fn miss_rate_boundaries() {
+        assert_eq!(miss_rate(0.0, 100.0), 0.0);
+        assert_eq!(miss_rate(50.0, 100.0), 0.0);
+        assert_eq!(miss_rate(10.0, 0.0), 1.0);
+        // Deep over-subscription approaches 1.
+        assert!(miss_rate(1_000_000.0, 100.0) > 0.99);
+    }
+
+    #[test]
+    fn miss_rate_is_monotone_in_working_set() {
+        let mut last = -1.0;
+        for ws in [10.0, 80.0, 90.0, 100.0, 150.0, 400.0, 10_000.0] {
+            let m = miss_rate(ws, 100.0);
+            assert!(m >= last, "miss_rate({ws}) = {m} < {last}");
+            assert!((0.0..=1.0).contains(&m));
+            last = m;
+        }
+    }
+
+    #[test]
+    fn miss_rate_has_gradient_before_the_cliff() {
+        // The search relies on the counter rising *before* the working set
+        // strictly exceeds the cache.
+        let just_below = miss_rate(95.0, 100.0);
+        assert!(just_below > 0.0 && just_below < 0.25);
+    }
+
+    #[test]
+    fn lru_hits_when_working_set_fits() {
+        let mut lru = LruCache::new(16);
+        for round in 0..10 {
+            for key in 0..16 {
+                let hit = lru.access(key);
+                if round > 0 {
+                    assert!(hit);
+                }
+            }
+        }
+        assert_eq!(lru.misses(), 16);
+        assert!(lru.observed_miss_rate() < 0.2);
+    }
+
+    #[test]
+    fn lru_thrashes_when_working_set_exceeds_capacity() {
+        let mut lru = LruCache::new(8);
+        // Sequential scan over 16 keys with an 8-entry LRU always misses.
+        for _ in 0..20 {
+            for key in 0..16 {
+                lru.access(key);
+            }
+        }
+        assert!(lru.observed_miss_rate() > 0.9);
+    }
+
+    #[test]
+    fn lru_random_access_matches_analytical_model() {
+        let mut rng = SimRng::new(7);
+        let capacity = 64;
+        let working_set = 256u64;
+        let mut lru = LruCache::new(capacity);
+        // Warm up, then measure.
+        for _ in 0..5_000 {
+            lru.access(rng.gen_range_u64(0, working_set - 1));
+        }
+        lru.reset();
+        // reset clears residency too, so re-warm before measuring.
+        for _ in 0..5_000 {
+            lru.access(rng.gen_range_u64(0, working_set - 1));
+        }
+        let observed = lru.observed_miss_rate();
+        let predicted = miss_rate(working_set as f64, capacity as f64);
+        assert!(
+            (observed - predicted).abs() < 0.12,
+            "observed {observed:.3} vs predicted {predicted:.3}"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_cache_always_misses() {
+        let mut lru = LruCache::new(0);
+        for key in 0..10 {
+            assert!(!lru.access(key));
+        }
+        assert_eq!(lru.observed_miss_rate(), 1.0);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_statistics() {
+        let mut lru = LruCache::new(4);
+        lru.access(1);
+        lru.access(1);
+        lru.reset();
+        assert_eq!(lru.hits(), 0);
+        assert_eq!(lru.misses(), 0);
+        assert_eq!(lru.len(), 0);
+        assert_eq!(lru.observed_miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The counter surface exposed to the search.
+//!
+//! The paper's vendors provide two families of counters: performance
+//! counters that every RNIC exports and nine diagnostic counters tied to
+//! internal events. We expose the same shape: four performance counters and
+//! nine diagnostic counters, registered into a [`CounterRegistry`] so the
+//! search layer can treat them as opaque names (it never interprets them —
+//! it only minimises the performance ones and maximises the diagnostic
+//! ones).
+
+use collie_sim::counters::{CounterHandle, CounterKind, CounterRegistry};
+
+/// Performance-counter names.
+pub mod perf {
+    /// Bytes transmitted per second (gauge over the measurement window).
+    pub const TX_BYTES_PER_SEC: &str = "perf/tx_bytes_per_sec";
+    /// Bytes received per second.
+    pub const RX_BYTES_PER_SEC: &str = "perf/rx_bytes_per_sec";
+    /// Packets transmitted per second.
+    pub const TX_PACKETS_PER_SEC: &str = "perf/tx_packets_per_sec";
+    /// Packets received per second.
+    pub const RX_PACKETS_PER_SEC: &str = "perf/rx_packets_per_sec";
+
+    /// All performance counters.
+    pub const ALL: [&str; 4] = [
+        TX_BYTES_PER_SEC,
+        RX_BYTES_PER_SEC,
+        TX_PACKETS_PER_SEC,
+        RX_PACKETS_PER_SEC,
+    ];
+}
+
+/// Diagnostic-counter names (the "nine vendor counters" of §7.2).
+pub mod diag {
+    /// Receive-WQE cache misses: the NIC had to fetch receive descriptors
+    /// from host DRAM (the counter traced in Figure 6).
+    pub const RECV_WQE_CACHE_MISS: &str = "diag/recv_wqe_cache_miss";
+    /// QP-context (ICM) cache misses.
+    pub const QP_CONTEXT_CACHE_MISS: &str = "diag/qp_context_cache_miss";
+    /// Memory-translation-table cache misses.
+    pub const MTT_CACHE_MISS: &str = "diag/mtt_cache_miss";
+    /// PCIe internal back-pressure events (inbound DMA stalled on the host).
+    pub const PCIE_BACKPRESSURE: &str = "diag/pcie_internal_backpressure";
+    /// Receive-buffer occupancy high-watermark events.
+    pub const RX_BUFFER_OCCUPANCY: &str = "diag/rx_buffer_occupancy";
+    /// Transmit-side WQE fetch stalls (doorbell to WQE-read latency).
+    pub const TX_WQE_FETCH_STALL: &str = "diag/tx_wqe_fetch_stall";
+    /// Packet-processing pipeline saturation events.
+    pub const PACKET_PROCESSING_SATURATION: &str = "diag/packet_processing_saturation";
+    /// PCIe ordering stalls (a DMA blocked behind an earlier one).
+    pub const PCIE_ORDERING_STALL: &str = "diag/pcie_ordering_stall";
+    /// In-NIC incast pressure (loopback and receive traffic colliding).
+    pub const INTERNAL_INCAST: &str = "diag/internal_incast";
+
+    /// All diagnostic counters.
+    pub const ALL: [&str; 9] = [
+        RECV_WQE_CACHE_MISS,
+        QP_CONTEXT_CACHE_MISS,
+        MTT_CACHE_MISS,
+        PCIE_BACKPRESSURE,
+        RX_BUFFER_OCCUPANCY,
+        TX_WQE_FETCH_STALL,
+        PACKET_PROCESSING_SATURATION,
+        PCIE_ORDERING_STALL,
+        INTERNAL_INCAST,
+    ];
+}
+
+/// Handles to every registered counter of one subsystem.
+#[derive(Debug, Clone)]
+pub struct RnicCounters {
+    perf_handles: Vec<CounterHandle>,
+    diag_handles: Vec<CounterHandle>,
+}
+
+impl RnicCounters {
+    /// Register the full counter set into `registry`.
+    pub fn register(registry: &CounterRegistry) -> Self {
+        RnicCounters {
+            perf_handles: perf::ALL
+                .iter()
+                .map(|name| registry.register(name, CounterKind::Performance))
+                .collect(),
+            diag_handles: diag::ALL
+                .iter()
+                .map(|name| registry.register(name, CounterKind::Diagnostic))
+                .collect(),
+        }
+    }
+
+    /// Set a performance counter by name (no-op for unknown names).
+    pub fn set_perf(&self, name: &str, value: f64) {
+        if let Some(h) = self.perf_handles.iter().find(|h| h.name() == name) {
+            h.set(value);
+        }
+    }
+
+    /// Set a diagnostic counter by name (no-op for unknown names).
+    pub fn set_diag(&self, name: &str, value: f64) {
+        if let Some(h) = self.diag_handles.iter().find(|h| h.name() == name) {
+            h.set(value);
+        }
+    }
+
+    /// Add to a diagnostic counter by name (no-op for unknown names).
+    pub fn add_diag(&self, name: &str, delta: f64) {
+        if let Some(h) = self.diag_handles.iter().find(|h| h.name() == name) {
+            h.add(delta);
+        }
+    }
+
+    /// Zero every counter (between experiments).
+    pub fn reset(&self) {
+        for h in self.perf_handles.iter().chain(self.diag_handles.iter()) {
+            h.set(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_thirteen_counters() {
+        let registry = CounterRegistry::new();
+        let _c = RnicCounters::register(&registry);
+        assert_eq!(registry.len(), 13);
+        assert_eq!(registry.names(CounterKind::Diagnostic).len(), 9);
+        assert_eq!(registry.names(CounterKind::Performance).len(), 4);
+    }
+
+    #[test]
+    fn set_and_add_by_name() {
+        let registry = CounterRegistry::new();
+        let c = RnicCounters::register(&registry);
+        c.set_perf(perf::TX_BYTES_PER_SEC, 1e9);
+        c.set_diag(diag::RECV_WQE_CACHE_MISS, 5.0);
+        c.add_diag(diag::RECV_WQE_CACHE_MISS, 3.0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.value(perf::TX_BYTES_PER_SEC), Some(1e9));
+        assert_eq!(snap.value(diag::RECV_WQE_CACHE_MISS), Some(8.0));
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        let registry = CounterRegistry::new();
+        let c = RnicCounters::register(&registry);
+        c.set_perf("perf/nope", 1.0);
+        c.set_diag("diag/nope", 1.0);
+        assert!(registry.get("perf/nope").is_none());
+    }
+
+    #[test]
+    fn reset_zeroes_all() {
+        let registry = CounterRegistry::new();
+        let c = RnicCounters::register(&registry);
+        c.set_perf(perf::RX_BYTES_PER_SEC, 7.0);
+        c.set_diag(diag::INTERNAL_INCAST, 7.0);
+        c.reset();
+        let snap = registry.snapshot();
+        assert!(snap.iter().all(|(_, _, v)| v == 0.0));
+    }
+
+    #[test]
+    fn double_registration_is_idempotent() {
+        let registry = CounterRegistry::new();
+        let _a = RnicCounters::register(&registry);
+        let _b = RnicCounters::register(&registry);
+        assert_eq!(registry.len(), 13);
+    }
+}

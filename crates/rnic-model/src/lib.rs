@@ -1,0 +1,47 @@
+//! # collie-rnic
+//!
+//! Behavioural model of an RDMA NIC and of the assembled two-server RDMA
+//! subsystem the Collie search drives.
+//!
+//! The RNIC is the black box at the centre of the paper: the authors never
+//! see its internals, only its externally visible behaviour — achieved
+//! throughput, PFC pause frames, and two families of hardware counters.
+//! This crate reproduces that observable surface:
+//!
+//! * [`spec`] — per-model RNIC specifications (line rate, packet-rate
+//!   budget, cache sizes, buffer sizes) for the six NIC models of Table 1.
+//! * [`workload`] — the flow-level description of an offered workload
+//!   (transport, opcode, QP count, queue depths, WQE/SGE batching, message
+//!   pattern, memory placement) that the verbs layer and the workload
+//!   engine hand to the simulator.
+//! * [`cache`] — NIC on-chip cache models (QP context, address translation,
+//!   receive WQE) with working-set based miss estimation plus an exact LRU
+//!   used in unit tests.
+//! * [`bottleneck`] — the six root-cause bottleneck families of Appendix A,
+//!   expressed as graded stress rules that feed the diagnostic counters and,
+//!   past their trigger surface, degrade the data path.
+//! * [`counters`] — the performance and diagnostic counter set exposed to
+//!   the search (names, registration, update helpers).
+//! * [`pfc`] — PFC pause generation from receive-side service deficits.
+//! * [`subsystem`] — the assembled subsystem (two hosts + RNIC model +
+//!   lossless switch) and its `evaluate()` entry point, which maps one
+//!   workload to one [`Measurement`].
+//! * [`subsystems`] — the Table-1 catalog (subsystems A–H).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bottleneck;
+pub mod cache;
+pub mod counters;
+pub mod pfc;
+pub mod spec;
+pub mod subsystem;
+pub mod subsystems;
+pub mod workload;
+
+pub use counters::{diag, perf, RnicCounters};
+pub use spec::{RnicModel, RnicSpec};
+pub use subsystem::{DirectionMetrics, Measurement, Subsystem};
+pub use subsystems::{SubsystemId, SubsystemInfo};
+pub use workload::{Direction, FlowSpec, MessagePattern, Opcode, Transport, WorkloadSpec};

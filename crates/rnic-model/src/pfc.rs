@@ -1,0 +1,146 @@
+//! PFC pause-frame generation.
+//!
+//! RoCEv2 relies on Priority Flow Control: when the RNIC cannot drain its
+//! receive buffer as fast as packets arrive, it asks the upstream switch
+//! port to pause. The externally observable quantity — and the one the
+//! anomaly monitor thresholds — is the *pause duration ratio*: the fraction
+//! of wall-clock time the switch port was told to stay quiet (a ratio of 1 %
+//! means 10 ms of pause per second).
+//!
+//! In the fluid model a receiver that can only drain `drain` while the
+//! sender could otherwise push `offered` must pause the link for the
+//! complementary fraction of time, so the ratio falls straight out of the
+//! two rates. A small grace margin absorbs the transient pauses the paper
+//! notes are normal right after connections are set up.
+
+use collie_sim::units::BitRate;
+use serde::{Deserialize, Serialize};
+
+/// Pause behaviour computed for one receiving host over one measurement
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PauseAccount {
+    /// Fraction of the window the host's RNIC kept the switch port paused.
+    pub pause_ratio: f64,
+}
+
+impl PauseAccount {
+    /// No pauses.
+    pub const NONE: PauseAccount = PauseAccount { pause_ratio: 0.0 };
+
+    /// Pause ratio needed to reconcile an offered rate with a smaller
+    /// drain rate. `grace` is the deficit fraction absorbed without
+    /// pausing (start-up transients, elastic buffering); the default
+    /// subsystem uses 2 %.
+    pub fn from_rates(offered: BitRate, drain: BitRate, grace: f64) -> PauseAccount {
+        let offered_bps = offered.bits_per_sec();
+        let drain_bps = drain.bits_per_sec();
+        if offered_bps <= 0.0 || drain_bps >= offered_bps {
+            return PauseAccount::NONE;
+        }
+        let deficit = 1.0 - drain_bps / offered_bps;
+        let ratio = (deficit - grace.max(0.0)).max(0.0);
+        PauseAccount {
+            pause_ratio: ratio.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Combine pause pressure from several independent causes on the same
+    /// port. Pause times do not overlap perfectly, so we use the
+    /// complement-product combination (1 − Π(1 − rᵢ)) rather than a sum,
+    /// which also keeps the result in [0, 1].
+    pub fn combine(accounts: &[PauseAccount]) -> PauseAccount {
+        let mut quiet = 1.0;
+        for a in accounts {
+            quiet *= 1.0 - a.pause_ratio.clamp(0.0, 1.0);
+        }
+        PauseAccount {
+            pause_ratio: 1.0 - quiet,
+        }
+    }
+
+    /// Add an explicit pause contribution (from a triggered bottleneck
+    /// rule) to this account.
+    pub fn with_extra(self, extra_ratio: f64) -> PauseAccount {
+        PauseAccount::combine(&[
+            self,
+            PauseAccount {
+                pause_ratio: extra_ratio.clamp(0.0, 1.0),
+            },
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_pause_when_drain_keeps_up() {
+        let p = PauseAccount::from_rates(
+            BitRate::from_gbps(100.0),
+            BitRate::from_gbps(100.0),
+            0.02,
+        );
+        assert_eq!(p.pause_ratio, 0.0);
+        let p = PauseAccount::from_rates(BitRate::from_gbps(50.0), BitRate::from_gbps(100.0), 0.02);
+        assert_eq!(p.pause_ratio, 0.0);
+    }
+
+    #[test]
+    fn pause_matches_deficit() {
+        let p = PauseAccount::from_rates(
+            BitRate::from_gbps(200.0),
+            BitRate::from_gbps(100.0),
+            0.0,
+        );
+        assert!((p.pause_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grace_absorbs_small_deficits() {
+        let p = PauseAccount::from_rates(
+            BitRate::from_gbps(100.0),
+            BitRate::from_gbps(99.0),
+            0.02,
+        );
+        assert_eq!(p.pause_ratio, 0.0);
+        let p = PauseAccount::from_rates(
+            BitRate::from_gbps(100.0),
+            BitRate::from_gbps(90.0),
+            0.02,
+        );
+        assert!((p.pause_ratio - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_offered_never_pauses() {
+        let p = PauseAccount::from_rates(BitRate::ZERO, BitRate::ZERO, 0.02);
+        assert_eq!(p.pause_ratio, 0.0);
+    }
+
+    #[test]
+    fn combine_uses_complement_product() {
+        let a = PauseAccount { pause_ratio: 0.5 };
+        let b = PauseAccount { pause_ratio: 0.5 };
+        let c = PauseAccount::combine(&[a, b]);
+        assert!((c.pause_ratio - 0.75).abs() < 1e-9);
+        assert_eq!(PauseAccount::combine(&[]).pause_ratio, 0.0);
+    }
+
+    #[test]
+    fn combine_never_exceeds_one() {
+        let a = PauseAccount { pause_ratio: 1.0 };
+        let b = PauseAccount { pause_ratio: 0.9 };
+        let c = PauseAccount::combine(&[a, b]);
+        assert!(c.pause_ratio <= 1.0);
+    }
+
+    #[test]
+    fn with_extra_composes() {
+        let base = PauseAccount { pause_ratio: 0.1 };
+        let combined = base.with_extra(0.2);
+        assert!((combined.pause_ratio - 0.28).abs() < 1e-9);
+        assert_eq!(PauseAccount::NONE.with_extra(0.0).pause_ratio, 0.0);
+    }
+}

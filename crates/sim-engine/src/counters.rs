@@ -1,0 +1,355 @@
+//! Hardware counter registry.
+//!
+//! Collie's central idea is that commodity RDMA subsystems expose two kinds
+//! of counters and that both can serve as opaque search signals:
+//!
+//! * **performance counters** — throughput-style values every RNIC exports
+//!   (bytes sent per second, packets per second, pause-frame duration);
+//!   the search *minimises* these, and
+//! * **diagnostic counters** — vendor debugging counters that map to
+//!   internal "unexpected events" (PCIe back-pressure, internal cache miss);
+//!   the search *maximises* these.
+//!
+//! Every hardware model in this workspace registers its counters here so the
+//! search layer can snapshot them uniformly without knowing what they mean —
+//! exactly how the paper treats the vendor counters.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Whether a counter is a performance counter (minimised by the search) or a
+/// diagnostic counter (maximised by the search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterKind {
+    /// Throughput-style counters exported by every commodity RNIC.
+    Performance,
+    /// Vendor debugging counters mapped to internal unexpected events.
+    Diagnostic,
+}
+
+impl fmt::Display for CounterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterKind::Performance => write!(f, "perf"),
+            CounterKind::Diagnostic => write!(f, "diag"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CounterCell {
+    name: String,
+    kind: CounterKind,
+    value: f64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    cells: Vec<CounterCell>,
+    by_name: BTreeMap<String, usize>,
+}
+
+/// A registry of named counters shared by all components of one simulated
+/// subsystem.
+///
+/// Cloning the registry clones the *handle*; all clones observe the same
+/// underlying counters (mirroring how the vendor monitor daemon and the
+/// workload generator both read the same hardware registers).
+#[derive(Debug, Clone, Default)]
+pub struct CounterRegistry {
+    inner: Arc<RwLock<RegistryInner>>,
+}
+
+/// A cheap handle to one registered counter.
+#[derive(Debug, Clone)]
+pub struct CounterHandle {
+    registry: CounterRegistry,
+    index: usize,
+}
+
+/// An immutable snapshot of every counter at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CounterSnapshot {
+    values: BTreeMap<String, (CounterKind, f64)>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a counter, returning a handle. Registering a name twice
+    /// returns a handle to the existing counter (components may be rebuilt
+    /// between experiments while the registry persists).
+    pub fn register(&self, name: &str, kind: CounterKind) -> CounterHandle {
+        let mut inner = self.inner.write();
+        if let Some(&index) = inner.by_name.get(name) {
+            return CounterHandle {
+                registry: self.clone(),
+                index,
+            };
+        }
+        let index = inner.cells.len();
+        inner.cells.push(CounterCell {
+            name: name.to_string(),
+            kind,
+            value: 0.0,
+        });
+        inner.by_name.insert(name.to_string(), index);
+        CounterHandle {
+            registry: self.clone(),
+            index,
+        }
+    }
+
+    /// Look up an already-registered counter by name.
+    pub fn get(&self, name: &str) -> Option<CounterHandle> {
+        let inner = self.inner.read();
+        inner.by_name.get(name).map(|&index| CounterHandle {
+            registry: self.clone(),
+            index,
+        })
+    }
+
+    /// Names of all registered counters of a given kind, in registration-
+    /// independent (sorted) order.
+    pub fn names(&self, kind: CounterKind) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut names: Vec<String> = inner
+            .cells
+            .iter()
+            .filter(|c| c.kind == kind)
+            .map(|c| c.name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Reset every counter to zero (done between experiments, like clearing
+    /// hardware counters before a run).
+    pub fn reset(&self) {
+        let mut inner = self.inner.write();
+        for cell in &mut inner.cells {
+            cell.value = 0.0;
+        }
+    }
+
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let inner = self.inner.read();
+        CounterSnapshot {
+            values: inner
+                .cells
+                .iter()
+                .map(|c| (c.name.clone(), (c.kind, c.value)))
+                .collect(),
+        }
+    }
+
+    /// Total number of registered counters.
+    pub fn len(&self) -> usize {
+        self.inner.read().cells.len()
+    }
+
+    /// True if no counters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl CounterHandle {
+    /// Add `delta` to the counter (negative deltas are allowed but the value
+    /// is clamped at zero, as hardware counters never read negative).
+    pub fn add(&self, delta: f64) {
+        let mut inner = self.registry.inner.write();
+        let cell = &mut inner.cells[self.index];
+        cell.value = (cell.value + delta).max(0.0);
+    }
+
+    /// Increment by one.
+    pub fn incr(&self) {
+        self.add(1.0);
+    }
+
+    /// Overwrite the counter value (used by gauge-style counters such as
+    /// "bytes per second over the last interval"). Clamped at zero.
+    pub fn set(&self, value: f64) {
+        let mut inner = self.registry.inner.write();
+        inner.cells[self.index].value = value.max(0.0);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.registry.inner.read().cells[self.index].value
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> String {
+        self.registry.inner.read().cells[self.index].name.clone()
+    }
+
+    /// Counter kind.
+    pub fn kind(&self) -> CounterKind {
+        self.registry.inner.read().cells[self.index].kind
+    }
+}
+
+impl CounterSnapshot {
+    /// Value of a named counter, if present.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values.get(name).map(|(_, v)| *v)
+    }
+
+    /// Kind of a named counter, if present.
+    pub fn kind(&self, name: &str) -> Option<CounterKind> {
+        self.values.get(name).map(|(k, _)| *k)
+    }
+
+    /// Iterate over `(name, kind, value)` triples in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, CounterKind, f64)> {
+        self.values.iter().map(|(n, (k, v))| (n.as_str(), *k, *v))
+    }
+
+    /// All names of a given kind.
+    pub fn names(&self, kind: CounterKind) -> Vec<&str> {
+        self.iter()
+            .filter(|(_, k, _)| *k == kind)
+            .map(|(n, _, _)| n)
+            .collect()
+    }
+
+    /// Number of counters in the snapshot.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Build a snapshot directly from `(name, kind, value)` triples
+    /// (used by tests and by averaged multi-sample measurements).
+    pub fn from_triples<I: IntoIterator<Item = (String, CounterKind, f64)>>(iter: I) -> Self {
+        CounterSnapshot {
+            values: iter.into_iter().map(|(n, k, v)| (n, (k, v))).collect(),
+        }
+    }
+
+    /// Pointwise average of several snapshots sharing the same counter set.
+    /// Counters missing from some snapshots average only over the snapshots
+    /// that contain them. Returns an empty snapshot for an empty input.
+    pub fn average(snapshots: &[CounterSnapshot]) -> CounterSnapshot {
+        let mut sums: BTreeMap<String, (CounterKind, f64, u32)> = BTreeMap::new();
+        for snap in snapshots {
+            for (name, kind, value) in snap.iter() {
+                let entry = sums.entry(name.to_string()).or_insert((kind, 0.0, 0));
+                entry.1 += value;
+                entry.2 += 1;
+            }
+        }
+        CounterSnapshot {
+            values: sums
+                .into_iter()
+                .map(|(n, (k, sum, cnt))| (n, (k, sum / cnt as f64)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_update() {
+        let reg = CounterRegistry::new();
+        let c = reg.register("rx_bytes", CounterKind::Performance);
+        c.add(100.0);
+        c.add(50.0);
+        assert_eq!(c.value(), 150.0);
+        assert_eq!(c.name(), "rx_bytes");
+        assert_eq!(c.kind(), CounterKind::Performance);
+    }
+
+    #[test]
+    fn duplicate_registration_shares_storage() {
+        let reg = CounterRegistry::new();
+        let a = reg.register("cache_miss", CounterKind::Diagnostic);
+        let b = reg.register("cache_miss", CounterKind::Diagnostic);
+        a.incr();
+        b.incr();
+        assert_eq!(a.value(), 2.0);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn values_never_go_negative() {
+        let reg = CounterRegistry::new();
+        let c = reg.register("x", CounterKind::Diagnostic);
+        c.add(-5.0);
+        assert_eq!(c.value(), 0.0);
+        c.set(-1.0);
+        assert_eq!(c.value(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_copy() {
+        let reg = CounterRegistry::new();
+        let c = reg.register("pps", CounterKind::Performance);
+        c.set(10.0);
+        let snap = reg.snapshot();
+        c.set(99.0);
+        assert_eq!(snap.value("pps"), Some(10.0));
+        assert_eq!(reg.snapshot().value("pps"), Some(99.0));
+    }
+
+    #[test]
+    fn names_filtered_by_kind() {
+        let reg = CounterRegistry::new();
+        reg.register("b_diag", CounterKind::Diagnostic);
+        reg.register("a_perf", CounterKind::Performance);
+        reg.register("a_diag", CounterKind::Diagnostic);
+        assert_eq!(reg.names(CounterKind::Diagnostic), vec!["a_diag", "b_diag"]);
+        assert_eq!(reg.names(CounterKind::Performance), vec!["a_perf"]);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let reg = CounterRegistry::new();
+        let c = reg.register("x", CounterKind::Performance);
+        c.set(42.0);
+        reg.reset();
+        assert_eq!(c.value(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = CounterRegistry::new();
+        let reg2 = reg.clone();
+        let c = reg.register("shared", CounterKind::Diagnostic);
+        c.incr();
+        assert_eq!(reg2.snapshot().value("shared"), Some(1.0));
+    }
+
+    #[test]
+    fn snapshot_average() {
+        let a = CounterSnapshot::from_triples([("x".to_string(), CounterKind::Performance, 2.0)]);
+        let b = CounterSnapshot::from_triples([("x".to_string(), CounterKind::Performance, 4.0)]);
+        let avg = CounterSnapshot::average(&[a, b]);
+        assert_eq!(avg.value("x"), Some(3.0));
+        assert!(CounterSnapshot::average(&[]).is_empty());
+    }
+
+    #[test]
+    fn get_finds_existing_only() {
+        let reg = CounterRegistry::new();
+        assert!(reg.get("missing").is_none());
+        reg.register("present", CounterKind::Performance);
+        assert!(reg.get("present").is_some());
+    }
+}

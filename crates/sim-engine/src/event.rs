@@ -1,0 +1,204 @@
+//! A deterministic discrete-event queue.
+//!
+//! The RNIC and host models are mostly fluid (rate-based), but a few pieces
+//! — doorbell batching, cache warm-up, and the per-tick subsystem stepper —
+//! want an explicit "what happens next, and when" structure. [`EventQueue`]
+//! is a minimal priority queue over [`SimTime`] with a tie-breaking sequence
+//! number so that two events scheduled for the same instant always pop in
+//! insertion order, keeping runs bit-for-bit reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then the
+        // lowest sequence number) is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently popped
+    /// event (zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the calling model; we clamp
+    /// to `now` rather than panic so a slightly stale producer cannot wedge a
+    /// long search campaign, and debug builds assert to surface the bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling at {at} before now {}", self.now);
+        let at = if at < self.now { self.now } else { at };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Pop the next event only if it is scheduled at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drop all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), "c");
+        q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(3), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(10);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(2), ());
+        q.schedule(SimTime::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(2));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(10), 2);
+        assert_eq!(q.pop_until(SimTime::from_millis(5)), Some((SimTime::from_millis(1), 1)));
+        assert_eq!(q.pop_until(SimTime::from_millis(5)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "first");
+        q.pop();
+        // Clock is now at 10ms; an event "scheduled" earlier should still be
+        // delivered (at now), not lost or delivered out of order.
+        #[allow(unused_mut)]
+        let mut delivered = false;
+        if cfg!(debug_assertions) {
+            // In debug builds this is an assertion failure; only exercise the
+            // clamping behaviour in release-style logic via catch_unwind-free
+            // path when assertions are disabled.
+        } else {
+            q.schedule(SimTime::from_millis(1), "late");
+            let (t, e) = q.pop().unwrap();
+            assert_eq!(e, "late");
+            assert_eq!(t, SimTime::from_millis(10));
+            delivered = true;
+        }
+        let _ = delivered;
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1) + SimDuration::ZERO, ());
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

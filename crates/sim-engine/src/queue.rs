@@ -1,0 +1,250 @@
+//! Fluid queue and rate-limiter primitives.
+//!
+//! The RNIC buffer model (Figure 1, circles 5/6) and the PFC model both work
+//! on a fluid approximation: within one simulation tick the relevant queue
+//! fills at the arrival rate and drains at the service rate, and what matters
+//! is the resulting occupancy versus the XOFF/XON thresholds. [`FluidQueue`]
+//! captures exactly that, and [`TokenBucket`] provides the rate shaping used
+//! for line-rate and pps budgets.
+
+use crate::time::SimDuration;
+use crate::units::{BitRate, ByteSize};
+use serde::{Deserialize, Serialize};
+
+/// A byte-denominated fluid queue with a finite capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FluidQueue {
+    capacity: f64,
+    occupancy: f64,
+    /// Bytes that could not be admitted because the queue was full.
+    overflow: f64,
+}
+
+/// The outcome of advancing a [`FluidQueue`] by one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueTick {
+    /// Bytes actually admitted this tick.
+    pub admitted: f64,
+    /// Bytes actually drained this tick.
+    pub drained: f64,
+    /// Bytes rejected because the queue was full.
+    pub overflowed: f64,
+    /// Occupancy at the end of the tick, in bytes.
+    pub occupancy: f64,
+    /// Occupancy as a fraction of capacity (0 for an unbounded queue).
+    pub fill_fraction: f64,
+}
+
+impl FluidQueue {
+    /// A queue holding at most `capacity` bytes.
+    pub fn new(capacity: ByteSize) -> Self {
+        FluidQueue {
+            capacity: capacity.as_f64(),
+            occupancy: 0.0,
+            overflow: 0.0,
+        }
+    }
+
+    /// Current occupancy in bytes.
+    pub fn occupancy_bytes(&self) -> f64 {
+        self.occupancy
+    }
+
+    /// Occupancy as a fraction of capacity.
+    pub fn fill_fraction(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            0.0
+        } else {
+            (self.occupancy / self.capacity).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Total bytes rejected since construction or the last [`reset`].
+    ///
+    /// [`reset`]: FluidQueue::reset
+    pub fn overflow_bytes(&self) -> f64 {
+        self.overflow
+    }
+
+    /// Empty the queue and clear the overflow accumulator.
+    pub fn reset(&mut self) {
+        self.occupancy = 0.0;
+        self.overflow = 0.0;
+    }
+
+    /// Advance the queue by `dt` with the given arrival and service rates.
+    ///
+    /// Drain is applied to the occupancy plus the arrivals of this tick
+    /// (fluid approximation: traffic can cut through within a tick), then
+    /// whatever does not fit in the capacity is counted as overflow. A
+    /// lossless (PFC-protected) consumer never actually drops these bytes —
+    /// the caller uses the overflow as the pressure that turns into pause
+    /// frames — but tracking it keeps the math simple and conservative.
+    pub fn tick(&mut self, arrival: BitRate, service: BitRate, dt: SimDuration) -> QueueTick {
+        let arriving = arrival.bytes_per_sec() * dt.as_secs_f64();
+        let draining = service.bytes_per_sec() * dt.as_secs_f64();
+
+        let available = self.occupancy + arriving;
+        let drained = draining.min(available);
+        let mut after = available - drained;
+
+        let overflowed = if self.capacity > 0.0 && after > self.capacity {
+            let o = after - self.capacity;
+            after = self.capacity;
+            o
+        } else {
+            0.0
+        };
+
+        self.occupancy = after;
+        self.overflow += overflowed;
+        let admitted = (arriving - overflowed).max(0.0);
+
+        QueueTick {
+            admitted,
+            drained,
+            overflowed,
+            occupancy: self.occupancy,
+            fill_fraction: self.fill_fraction(),
+        }
+    }
+}
+
+/// A token bucket expressing a rate budget (line rate, pps budget, PCIe
+/// bandwidth share).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_sec` tokens per second and holding at
+    /// most `burst` tokens. The bucket starts full.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        let burst = burst.max(0.0);
+        TokenBucket {
+            rate_per_sec: rate_per_sec.max(0.0),
+            burst,
+            tokens: burst,
+        }
+    }
+
+    /// Refill for an elapsed duration.
+    pub fn refill(&mut self, dt: SimDuration) {
+        self.tokens = (self.tokens + self.rate_per_sec * dt.as_secs_f64()).min(self.burst);
+    }
+
+    /// Try to consume `amount` tokens; returns how many were actually
+    /// granted (all of it, or whatever is left).
+    pub fn consume_upto(&mut self, amount: f64) -> f64 {
+        let granted = amount.max(0.0).min(self.tokens);
+        self.tokens -= granted;
+        granted
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+
+    /// The configured refill rate.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(cap_kib: u64) -> FluidQueue {
+        FluidQueue::new(ByteSize::from_kib(cap_kib))
+    }
+
+    #[test]
+    fn queue_stays_empty_when_service_exceeds_arrival() {
+        let mut queue = q(64);
+        let t = queue.tick(
+            BitRate::from_gbps(50.0),
+            BitRate::from_gbps(100.0),
+            SimDuration::from_millis(1),
+        );
+        assert_eq!(t.occupancy, 0.0);
+        assert_eq!(t.overflowed, 0.0);
+        assert!(t.drained > 0.0);
+    }
+
+    #[test]
+    fn queue_accumulates_under_deficit() {
+        let mut queue = FluidQueue::new(ByteSize::from_mib(64));
+        let t = queue.tick(
+            BitRate::from_gbps(100.0),
+            BitRate::from_gbps(60.0),
+            SimDuration::from_millis(1),
+        );
+        // 40 Gbps deficit over 1 ms = 5 MB accumulated.
+        assert!((t.occupancy - 5.0e6).abs() < 5e4, "occupancy {}", t.occupancy);
+        assert_eq!(t.overflowed, 0.0);
+    }
+
+    #[test]
+    fn queue_overflows_at_capacity() {
+        let mut queue = q(64); // 64 KiB
+        let t = queue.tick(
+            BitRate::from_gbps(100.0),
+            BitRate::ZERO,
+            SimDuration::from_millis(1),
+        );
+        assert!((t.occupancy - 65536.0).abs() < 1e-6);
+        assert!(t.overflowed > 0.0);
+        assert!((queue.fill_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(queue.overflow_bytes(), t.overflowed);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut queue = q(1);
+        queue.tick(BitRate::from_gbps(10.0), BitRate::ZERO, SimDuration::from_millis(1));
+        queue.reset();
+        assert_eq!(queue.occupancy_bytes(), 0.0);
+        assert_eq!(queue.overflow_bytes(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_drains_over_time() {
+        let mut queue = FluidQueue::new(ByteSize::from_mib(8));
+        queue.tick(BitRate::from_gbps(100.0), BitRate::ZERO, SimDuration::from_millis(1));
+        let filled = queue.occupancy_bytes();
+        assert!(filled > 0.0);
+        queue.tick(BitRate::ZERO, BitRate::from_gbps(200.0), SimDuration::from_millis(1));
+        assert!(queue.occupancy_bytes() < filled);
+    }
+
+    #[test]
+    fn token_bucket_grants_up_to_available() {
+        let mut tb = TokenBucket::new(1000.0, 100.0);
+        assert_eq!(tb.consume_upto(40.0), 40.0);
+        assert_eq!(tb.consume_upto(100.0), 60.0);
+        assert_eq!(tb.consume_upto(10.0), 0.0);
+        tb.refill(SimDuration::from_millis(50)); // +50 tokens
+        assert!((tb.available() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_burst() {
+        let mut tb = TokenBucket::new(1e6, 10.0);
+        tb.refill(SimDuration::from_secs(10));
+        assert_eq!(tb.available(), 10.0);
+    }
+
+    #[test]
+    fn token_bucket_clamps_negative_inputs() {
+        let mut tb = TokenBucket::new(-5.0, -1.0);
+        assert_eq!(tb.available(), 0.0);
+        assert_eq!(tb.consume_upto(-3.0), 0.0);
+        tb.refill(SimDuration::from_secs(1));
+        assert_eq!(tb.available(), 0.0);
+    }
+}

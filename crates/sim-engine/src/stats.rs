@@ -1,0 +1,226 @@
+//! Online statistics and summaries.
+//!
+//! The anomaly monitor samples throughput and pause duration several times
+//! per experiment and needs to decide whether traffic is "stable" before
+//! comparing against thresholds (§6 of the paper: metrics are collected four
+//! times per iteration and averaged). The benchmark harness additionally
+//! reports mean ± standard deviation over repeated seeded runs (the error
+//! bars of Figures 4 and 5). Both needs are served here.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford-style online mean / variance accumulator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (std/mean); 0 when the mean is 0. The
+    /// anomaly monitor uses this as its traffic-stability test and the
+    /// search driver uses it to rank diagnostic counters (the paper ranks
+    /// the 9 vendor counters by std/mean over 10 random probes).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / m.abs()
+        }
+    }
+
+    /// Minimum observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Snapshot into an immutable [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+/// An immutable statistical summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a slice of observations.
+    pub fn of(values: &[f64]) -> Summary {
+        let mut s = OnlineStats::new();
+        for &v in values {
+            s.push(v);
+        }
+        s.summary()
+    }
+}
+
+/// The `q`-th percentile (0..=100) of a sample using nearest-rank on a sorted
+/// copy. Returns 0 for an empty sample.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_closed_form() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let mut s = OnlineStats::new();
+        for x in [10.0, 10.0, 10.0] {
+            s.push(x);
+        }
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        let mut s2 = OnlineStats::new();
+        for x in [5.0, 15.0] {
+            s2.push(x);
+        }
+        assert!((s2.coefficient_of_variation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_slice() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&v, 50.0), 6.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(percentile(&v, 150.0), 10.0);
+        assert_eq!(percentile(&v, -5.0), 1.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Completion queues.
+//!
+//! Applications learn that work requests finished by polling a completion
+//! queue (`ibv_poll_cq`). The simulated fabric pushes completions when it
+//! runs a measurement window; capacity is enforced the way hardware does it
+//! (a full CQ is an error condition the poster sees, not a silent drop).
+
+use crate::error::{Result, VerbsError};
+use crate::types::WorkCompletion;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct CqInner {
+    capacity: usize,
+    entries: VecDeque<WorkCompletion>,
+}
+
+/// A completion queue (`ibv_cq`).
+#[derive(Debug, Clone)]
+pub struct CompletionQueue {
+    inner: Arc<Mutex<CqInner>>,
+}
+
+impl CompletionQueue {
+    /// Create a CQ holding at most `capacity` completions
+    /// (`ibv_create_cq`). A zero capacity is rounded up to one.
+    pub fn new(capacity: usize) -> Self {
+        CompletionQueue {
+            inner: Arc::new(Mutex::new(CqInner {
+                capacity: capacity.max(1),
+                entries: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Number of completions waiting to be polled.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True if no completions are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Poll up to `max` completions (`ibv_poll_cq`). Returns an empty vector
+    /// when nothing has completed — exactly like the real call returning 0.
+    pub fn poll(&self, max: usize) -> Vec<WorkCompletion> {
+        let mut inner = self.inner.lock();
+        let n = max.min(inner.entries.len());
+        inner.entries.drain(..n).collect()
+    }
+
+    /// Push a completion (called by the fabric when a WR finishes).
+    pub(crate) fn push(&self, wc: WorkCompletion) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.entries.len() >= inner.capacity {
+            return Err(VerbsError::QueueFull {
+                queue: "completion queue",
+                capacity: inner.capacity,
+            });
+        }
+        inner.entries.push_back(wc);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{WcOpcode, WcStatus};
+
+    fn wc(id: u64) -> WorkCompletion {
+        WorkCompletion {
+            wr_id: id,
+            status: WcStatus::Success,
+            opcode: WcOpcode::Send,
+            byte_len: 64,
+            qp_num: 1,
+        }
+    }
+
+    #[test]
+    fn poll_returns_fifo_order() {
+        let cq = CompletionQueue::new(8);
+        for i in 0..5 {
+            cq.push(wc(i)).unwrap();
+        }
+        let polled = cq.poll(3);
+        assert_eq!(polled.iter().map(|c| c.wr_id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(cq.len(), 2);
+        let rest = cq.poll(10);
+        assert_eq!(rest.len(), 2);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn empty_poll_returns_nothing() {
+        let cq = CompletionQueue::new(4);
+        assert!(cq.poll(16).is_empty());
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        let cq = CompletionQueue::new(2);
+        cq.push(wc(1)).unwrap();
+        cq.push(wc(2)).unwrap();
+        let err = cq.push(wc(3)).unwrap_err();
+        assert!(matches!(err, VerbsError::QueueFull { capacity: 2, .. }));
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up() {
+        let cq = CompletionQueue::new(0);
+        assert_eq!(cq.capacity(), 1);
+        cq.push(wc(1)).unwrap();
+        assert!(cq.push(wc(2)).is_err());
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let cq = CompletionQueue::new(4);
+        let cq2 = cq.clone();
+        cq.push(wc(9)).unwrap();
+        assert_eq!(cq2.poll(1)[0].wr_id, 9);
+    }
+}

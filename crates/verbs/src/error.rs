@@ -1,0 +1,142 @@
+//! Error types for the verbs layer.
+//!
+//! Real libibverbs reports failures through `errno`-style integers; we use a
+//! typed enum so that tests can assert on the exact failure and so that the
+//! workload engine can distinguish "this search point is invalid" from "the
+//! engine has a bug".
+
+use std::fmt;
+
+/// Result alias used across the verbs crate.
+pub type Result<T> = std::result::Result<T, VerbsError>;
+
+/// Failures the verbs layer can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerbsError {
+    /// The QP is in the wrong state for the requested operation
+    /// (e.g. posting a send before the QP reached RTS).
+    InvalidQpState {
+        /// What was attempted.
+        operation: &'static str,
+        /// State the QP is actually in.
+        state: &'static str,
+    },
+    /// The opcode is not supported on the QP's transport type
+    /// (e.g. RDMA READ on a UD QP).
+    UnsupportedOpcode {
+        /// The rejected opcode.
+        opcode: &'static str,
+        /// The QP transport.
+        transport: &'static str,
+    },
+    /// A work queue is full (send queue, receive queue, or CQ overflow).
+    QueueFull {
+        /// Which queue.
+        queue: &'static str,
+        /// Its configured capacity.
+        capacity: usize,
+    },
+    /// A scatter/gather entry refers to memory outside any registered MR or
+    /// violates the MR's access flags.
+    AccessViolation {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Too many scatter/gather entries for this QP.
+    TooManySges {
+        /// Entries requested.
+        requested: usize,
+        /// QP limit.
+        limit: usize,
+    },
+    /// MR registration failed (zero length, or the host cannot pin that
+    /// much memory).
+    RegistrationFailed {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The two QPs being connected are incompatible (different types) or
+    /// one of them is not ready.
+    ConnectionFailed {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A resource handle (QP number, MR key) does not exist.
+    UnknownHandle {
+        /// Which kind of handle.
+        kind: &'static str,
+        /// The handle value.
+        handle: u64,
+    },
+    /// The requested attribute value is not supported by the device
+    /// (e.g. an MTU the RNIC does not implement).
+    InvalidAttribute {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::InvalidQpState { operation, state } => {
+                write!(f, "cannot {operation}: QP is in state {state}")
+            }
+            VerbsError::UnsupportedOpcode { opcode, transport } => {
+                write!(f, "opcode {opcode} is not supported on {transport} QPs")
+            }
+            VerbsError::QueueFull { queue, capacity } => {
+                write!(f, "{queue} is full (capacity {capacity})")
+            }
+            VerbsError::AccessViolation { reason } => write!(f, "access violation: {reason}"),
+            VerbsError::TooManySges { requested, limit } => {
+                write!(f, "too many SG entries: {requested} > limit {limit}")
+            }
+            VerbsError::RegistrationFailed { reason } => {
+                write!(f, "memory registration failed: {reason}")
+            }
+            VerbsError::ConnectionFailed { reason } => write!(f, "connection failed: {reason}"),
+            VerbsError::UnknownHandle { kind, handle } => {
+                write!(f, "unknown {kind} handle {handle}")
+            }
+            VerbsError::InvalidAttribute { reason } => write!(f, "invalid attribute: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = VerbsError::InvalidQpState {
+            operation: "post_send",
+            state: "INIT",
+        };
+        assert!(e.to_string().contains("post_send"));
+        assert!(e.to_string().contains("INIT"));
+
+        let e = VerbsError::TooManySges {
+            requested: 9,
+            limit: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = VerbsError::QueueFull {
+            queue: "send queue",
+            capacity: 16,
+        };
+        let b = VerbsError::QueueFull {
+            queue: "send queue",
+            capacity: 16,
+        };
+        assert_eq!(a, b);
+    }
+}

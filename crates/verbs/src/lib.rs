@@ -1,0 +1,57 @@
+//! # collie-verbs
+//!
+//! A verbs-style RDMA programming abstraction over the simulated RDMA
+//! subsystem.
+//!
+//! Collie's whole search space is defined in terms of the standard verbs
+//! API — "the narrow waist of RDMA programming" (§4, Figure 3): memory
+//! regions registered with `ibv_reg_mr`, queue pairs created with
+//! `ibv_create_qp` and driven through their state machine with
+//! `ibv_modify_qp`, work requests posted with `ibv_post_send` /
+//! `ibv_post_recv`, and completions harvested with `ibv_poll_cq`. This
+//! crate reproduces that surface in safe Rust over the behavioural RNIC
+//! model, so that:
+//!
+//! * the workload engine in `collie-core` can set up traffic exactly the
+//!   way the paper's C++ engine does (register MRs, create and connect QPs,
+//!   post batched WQEs with scatter/gather lists), and
+//! * example applications (an RPC library, a parameter-server-style
+//!   training job) can be written against a realistic API and then measured
+//!   on any Table-1 subsystem.
+//!
+//! The crate mirrors the libibverbs object model:
+//!
+//! | libibverbs                | here                                  |
+//! |---------------------------|---------------------------------------|
+//! | `ibv_context`             | [`device::Context`]                   |
+//! | `ibv_pd`                  | [`device::ProtectionDomain`]          |
+//! | `ibv_mr` / `ibv_reg_mr`   | [`mr::MemoryRegion`] / [`device::ProtectionDomain::reg_mr`] |
+//! | `ibv_cq` / `ibv_create_cq`| [`cq::CompletionQueue`]               |
+//! | `ibv_qp` / `ibv_create_qp`| [`qp::QueuePair`]                     |
+//! | `ibv_post_send`/`recv`    | [`qp::QueuePair::post_send`] / [`qp::QueuePair::post_recv`] |
+//! | `ibv_poll_cq`             | [`cq::CompletionQueue::poll`]         |
+//! | out-of-band QP exchange   | [`fabric::Fabric::connect`]           |
+//!
+//! [`fabric::Fabric::run`] plays the role of letting the connected QPs
+//! exchange traffic for a measurement window: it derives the flow-level
+//! workload the posted work requests describe, evaluates it on the
+//! subsystem model, delivers completions, and returns the measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cq;
+pub mod device;
+pub mod error;
+pub mod fabric;
+pub mod mr;
+pub mod qp;
+pub mod types;
+
+pub use cq::CompletionQueue;
+pub use device::{Context, ProtectionDomain, RdmaDevice};
+pub use error::{Result, VerbsError};
+pub use fabric::Fabric;
+pub use mr::MemoryRegion;
+pub use qp::{QpAttr, QpCaps, QpState, QueuePair};
+pub use types::{AccessFlags, Mtu, RecvWr, SendWr, Sge, WcOpcode, WcStatus, WorkCompletion, WrOpcode};

@@ -1,0 +1,68 @@
+//! Memory regions.
+//!
+//! `ibv_reg_mr` pins a range of host (or GPU) memory and hands the RNIC the
+//! keys it needs to DMA into and out of it. Search Dimension 2 of the paper
+//! is entirely about these objects: how many MRs are registered, how large
+//! they are, and which memory device backs them.
+
+use crate::types::AccessFlags;
+use collie_host::memory::MemoryTarget;
+use collie_sim::units::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// A registered memory region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    /// Local key: quoted in SGEs of local work requests.
+    pub lkey: u32,
+    /// Remote key: handed to peers for one-sided operations.
+    pub rkey: u32,
+    /// Length of the pinned range in bytes.
+    pub length: ByteSize,
+    /// The memory device backing the region (DRAM on a NUMA node, or a
+    /// GPU's HBM for GPU-Direct RDMA).
+    pub target: MemoryTarget,
+    /// Access permissions granted at registration.
+    pub access: AccessFlags,
+}
+
+impl MemoryRegion {
+    /// True if `[offset, offset + len)` lies inside the region.
+    pub fn contains(&self, offset: u64, len: u64) -> bool {
+        offset
+            .checked_add(len)
+            .map(|end| end <= self.length.as_bytes())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mr(len: u64) -> MemoryRegion {
+        MemoryRegion {
+            lkey: 1,
+            rkey: 2,
+            length: ByteSize::from_bytes(len),
+            target: MemoryTarget::local_dram(),
+            access: AccessFlags::FULL,
+        }
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let m = mr(4096);
+        assert!(m.contains(0, 4096));
+        assert!(m.contains(1024, 1024));
+        assert!(!m.contains(1, 4096));
+        assert!(!m.contains(4096, 1));
+        assert!(m.contains(4096, 0));
+    }
+
+    #[test]
+    fn contains_rejects_overflowing_ranges() {
+        let m = mr(4096);
+        assert!(!m.contains(u64::MAX, 2));
+    }
+}

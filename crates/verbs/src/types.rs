@@ -1,0 +1,255 @@
+//! Plain data types of the verbs API: work requests, scatter/gather
+//! entries, completions, access flags, and path MTUs.
+
+use collie_rnic::workload::{Opcode, Transport};
+use serde::{Deserialize, Serialize};
+
+/// MR access permissions (a subset of `ibv_access_flags`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessFlags {
+    /// The local RNIC may write into this MR (needed for RECV and for being
+    /// the target of remote READ responses).
+    pub local_write: bool,
+    /// Remote peers may READ from this MR.
+    pub remote_read: bool,
+    /// Remote peers may WRITE into this MR.
+    pub remote_write: bool,
+}
+
+impl AccessFlags {
+    /// Local access only.
+    pub const LOCAL_ONLY: AccessFlags = AccessFlags {
+        local_write: true,
+        remote_read: false,
+        remote_write: false,
+    };
+
+    /// Full local and remote access (what the workload engine registers).
+    pub const FULL: AccessFlags = AccessFlags {
+        local_write: true,
+        remote_read: true,
+        remote_write: true,
+    };
+}
+
+impl Default for AccessFlags {
+    fn default() -> Self {
+        AccessFlags::LOCAL_ONLY
+    }
+}
+
+/// RDMA path MTU values (the only sizes the standard allows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Mtu {
+    /// 256-byte path MTU.
+    Mtu256,
+    /// 512-byte path MTU.
+    Mtu512,
+    /// 1024-byte path MTU (what a 1500-byte Ethernet MTU leaves for RDMA).
+    Mtu1024,
+    /// 2048-byte path MTU.
+    Mtu2048,
+    /// 4096-byte path MTU (what a 4200-byte Ethernet MTU leaves for RDMA).
+    Mtu4096,
+}
+
+impl Mtu {
+    /// All valid MTUs in ascending order.
+    pub const ALL: [Mtu; 5] = [Mtu::Mtu256, Mtu::Mtu512, Mtu::Mtu1024, Mtu::Mtu2048, Mtu::Mtu4096];
+
+    /// The MTU in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            Mtu::Mtu256 => 256,
+            Mtu::Mtu512 => 512,
+            Mtu::Mtu1024 => 1024,
+            Mtu::Mtu2048 => 2048,
+            Mtu::Mtu4096 => 4096,
+        }
+    }
+
+    /// The MTU enum for a byte count, if it is a valid RDMA MTU.
+    pub fn from_bytes(bytes: u32) -> Option<Mtu> {
+        Mtu::ALL.into_iter().find(|m| m.bytes() == bytes)
+    }
+}
+
+/// Send-side work request opcodes (a subset of `ibv_wr_opcode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WrOpcode {
+    /// Two-sided SEND (consumes a receive WQE at the responder).
+    Send,
+    /// One-sided RDMA WRITE.
+    RdmaWrite,
+    /// One-sided RDMA READ.
+    RdmaRead,
+}
+
+impl WrOpcode {
+    /// The flow-level opcode this WR maps to.
+    pub fn flow_opcode(self) -> Opcode {
+        match self {
+            WrOpcode::Send => Opcode::Send,
+            WrOpcode::RdmaWrite => Opcode::Write,
+            WrOpcode::RdmaRead => Opcode::Read,
+        }
+    }
+
+    /// Whether the opcode is valid on a transport.
+    pub fn valid_on(self, transport: Transport) -> bool {
+        self.flow_opcode().valid_on(transport)
+    }
+
+    /// Static name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            WrOpcode::Send => "SEND",
+            WrOpcode::RdmaWrite => "RDMA_WRITE",
+            WrOpcode::RdmaRead => "RDMA_READ",
+        }
+    }
+}
+
+/// One scatter/gather entry: a contiguous range inside a registered MR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sge {
+    /// Local key of the MR the range lives in.
+    pub lkey: u32,
+    /// Offset of the range inside the MR.
+    pub offset: u64,
+    /// Length of the range in bytes.
+    pub length: u64,
+}
+
+impl Sge {
+    /// An SGE covering `[offset, offset + length)` of the MR with `lkey`.
+    pub fn new(lkey: u32, offset: u64, length: u64) -> Sge {
+        Sge { lkey, offset, length }
+    }
+}
+
+/// A send work request (`ibv_send_wr`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SendWr {
+    /// Application cookie returned in the completion.
+    pub wr_id: u64,
+    /// Operation.
+    pub opcode: WrOpcode,
+    /// Local scatter/gather list (the payload source for SEND/WRITE, the
+    /// landing buffer for READ).
+    pub sge: Vec<Sge>,
+    /// Remote key for one-sided operations (ignored for SEND).
+    pub rkey: u32,
+    /// Remote offset for one-sided operations.
+    pub remote_offset: u64,
+    /// Whether a completion should be generated (unsignalled WRs still
+    /// complete internally but produce no CQE).
+    pub signaled: bool,
+}
+
+impl SendWr {
+    /// Total payload length across the SG list.
+    pub fn byte_len(&self) -> u64 {
+        self.sge.iter().map(|s| s.length).sum()
+    }
+}
+
+/// A receive work request (`ibv_recv_wr`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecvWr {
+    /// Application cookie returned in the completion.
+    pub wr_id: u64,
+    /// Scatter list the incoming message is written into.
+    pub sge: Vec<Sge>,
+}
+
+impl RecvWr {
+    /// Total capacity of the receive buffer described by the SG list.
+    pub fn byte_len(&self) -> u64 {
+        self.sge.iter().map(|s| s.length).sum()
+    }
+}
+
+/// Completion status (a subset of `ibv_wc_status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WcStatus {
+    /// The work request completed successfully.
+    Success,
+    /// A local protection error (bad SGE).
+    LocalProtectionError,
+    /// The remote side had no receive WQE posted (RNR).
+    ReceiverNotReady,
+}
+
+/// Completion opcode (which kind of work completed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WcOpcode {
+    /// A send-side completion (SEND, WRITE, or READ done).
+    Send,
+    /// A receive-side completion (an incoming SEND landed).
+    Recv,
+}
+
+/// One completion queue entry (`ibv_wc`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkCompletion {
+    /// The cookie of the completed work request.
+    pub wr_id: u64,
+    /// Completion status.
+    pub status: WcStatus,
+    /// Which side of the exchange completed.
+    pub opcode: WcOpcode,
+    /// Bytes transferred.
+    pub byte_len: u64,
+    /// The QP number the completion belongs to.
+    pub qp_num: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtu_roundtrip() {
+        for mtu in Mtu::ALL {
+            assert_eq!(Mtu::from_bytes(mtu.bytes()), Some(mtu));
+        }
+        assert_eq!(Mtu::from_bytes(1500), None);
+        assert_eq!(Mtu::Mtu4096.bytes(), 4096);
+    }
+
+    #[test]
+    fn opcode_mapping_and_validity() {
+        assert_eq!(WrOpcode::Send.flow_opcode(), Opcode::Send);
+        assert_eq!(WrOpcode::RdmaWrite.flow_opcode(), Opcode::Write);
+        assert_eq!(WrOpcode::RdmaRead.flow_opcode(), Opcode::Read);
+        assert!(WrOpcode::RdmaRead.valid_on(Transport::Rc));
+        assert!(!WrOpcode::RdmaRead.valid_on(Transport::Ud));
+        assert!(!WrOpcode::RdmaWrite.valid_on(Transport::Ud));
+    }
+
+    #[test]
+    fn wr_byte_lengths_sum_sges() {
+        let wr = SendWr {
+            wr_id: 1,
+            opcode: WrOpcode::RdmaWrite,
+            sge: vec![Sge::new(1, 0, 128), Sge::new(1, 128, 65536), Sge::new(2, 0, 1024)],
+            rkey: 7,
+            remote_offset: 0,
+            signaled: true,
+        };
+        assert_eq!(wr.byte_len(), 128 + 65536 + 1024);
+        let rwr = RecvWr {
+            wr_id: 2,
+            sge: vec![Sge::new(3, 0, 4096)],
+        };
+        assert_eq!(rwr.byte_len(), 4096);
+    }
+
+    #[test]
+    fn access_flag_presets() {
+        assert!(AccessFlags::FULL.remote_read && AccessFlags::FULL.remote_write);
+        assert!(!AccessFlags::LOCAL_ONLY.remote_read);
+        assert_eq!(AccessFlags::default(), AccessFlags::LOCAL_ONLY);
+    }
+}

@@ -1,0 +1,73 @@
+//! §7.3 case study 1: designing an RDMA RPC library around the anomalies.
+//!
+//! The paper's team was building a CPU-efficient RPC library that would use
+//! only Reliable Connections (RC) and run on subsystems B/C and later F.
+//! Before writing code they restricted Collie's search space to the
+//! workloads the library could possibly generate and asked which anomalies
+//! were still reachable — Collie pointed at the bidirectional READ anomaly
+//! (#4) and the RC SEND receive-queue anomaly (#5), and the library was
+//! designed to (1) move bulk data with WRITE batches instead of READ and
+//! (2) size its SEND/RECV control-message receive queues carefully.
+//!
+//! Run with: `cargo run --example rpc_library_design`
+
+use collie::prelude::*;
+use collie::core::advisor::Advisor;
+
+fn main() {
+    let subsystem = SubsystemId::F;
+
+    // The envelope the RPC library's developers can guarantee: RC only, no
+    // GPU memory, no collocated loopback peers, at most a few hundred
+    // connections per host.
+    let envelope = SpaceRestriction::rpc_library();
+    println!("RPC library design review on subsystem {subsystem}");
+    println!("Envelope: RC transport only, <= {} QPs, no GPU memory, no loopback.\n",
+        envelope.max_qps.unwrap_or(0));
+
+    // Step 1: which catalogued anomalies are still reachable inside the
+    // envelope? (The "anomaly prevention" workflow.)
+    let advisor = Advisor::for_subsystem(subsystem);
+    let report = advisor.prevention_report(&envelope);
+    println!("Reachable anomalies within the envelope: {}", report.len());
+    for suggestion in &report {
+        println!("  {} — conditions: {}", suggestion.anomaly, suggestion.matched_conditions.join("; "));
+    }
+
+    // Step 2: run a restricted search campaign to confirm the reachable set
+    // empirically — this is what "run Collie over the restricted space"
+    // means in the paper.
+    let mut engine = WorkloadEngine::for_catalog(subsystem);
+    let space = SearchSpace::for_host(&subsystem.host()).restricted(envelope);
+    let config = SearchConfig::collie(7).with_budget(SimDuration::from_secs(2 * 3600));
+    let outcome = run_search(&mut engine, &space, &config);
+    println!(
+        "\nRestricted search: {} experiments, {} anomalous workloads found, rules hit: {:?}",
+        outcome.experiments,
+        outcome.discoveries.len(),
+        outcome.distinct_known_anomalies()
+    );
+
+    // Step 3: turn the findings into design guidance, mirroring the paper's
+    // two concrete suggestions.
+    println!("\nDesign guidance for the RPC library:");
+    println!("  * Bulk data path: avoid bidirectional RC READ with large WQE batches and long SG");
+    println!("    lists (anomaly #4) — use RDMA WRITE batches for data transmission instead.");
+    println!("  * Control path: SEND/RECV for small control messages is fine, but do not");
+    println!("    configure extremely deep receive queues by default (anomaly #5) — size the");
+    println!("    receive queue to the expected in-flight control-message count.");
+
+    // Step 4: sanity-check the guidance: the WRITE-based bulk path the
+    // library shipped with does not trigger anything.
+    let mut write_based_bulk = SearchPoint::benign();
+    write_based_bulk.opcode = Opcode::Write;
+    write_based_bulk.bidirectional = true;
+    write_based_bulk.num_qps = 64;
+    write_based_bulk.wqe_batch = 32;
+    write_based_bulk.messages = vec![64 * 1024];
+    let verdict = collie::assess_workload(subsystem, &write_based_bulk);
+    println!(
+        "\nShipped design check (bidirectional WRITE batches, 64 QPs): anomalous = {}",
+        verdict.is_anomalous()
+    );
+}

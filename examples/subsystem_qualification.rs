@@ -1,0 +1,124 @@
+//! Qualify new hardware before deployment by comparing anomaly surfaces.
+//!
+//! The paper's motivation (§1, §2.2): integration testing has to be done by
+//! the data-center operator, per subsystem, before the hardware carries
+//! production traffic — vendor unit tests cannot see the interactions. This
+//! example plays that role for two candidate 200 Gbps platforms (the
+//! paper's subsystems E and F) plus the Broadcom alternative (H): run the
+//! same Collie budget against each, then compare what was found, how fast,
+//! and what an application team would have to avoid on each platform.
+//!
+//! Run with: `cargo run --example subsystem_qualification`
+
+use collie::prelude::*;
+use std::collections::BTreeSet;
+
+struct Qualification {
+    subsystem: SubsystemId,
+    outcome: SearchOutcome,
+}
+
+fn qualify(subsystem: SubsystemId, budget_hours: f64, seed: u64) -> Qualification {
+    let outcome = collie::quick_campaign(subsystem, budget_hours, seed);
+    Qualification { subsystem, outcome }
+}
+
+fn main() {
+    let budget_hours = 3.0;
+    let seed = 7;
+    let candidates = [SubsystemId::E, SubsystemId::F, SubsystemId::H];
+
+    println!("Qualifying {} candidate subsystems with {budget_hours} simulated hours each:\n",
+        candidates.len());
+
+    let reports: Vec<Qualification> = candidates
+        .iter()
+        .map(|&id| qualify(id, budget_hours, seed))
+        .collect();
+
+    println!(
+        "{:<4} {:<10} {:<12} {:>12} {:>10} {:>12} {:>14}",
+        "sub", "RNIC", "speed", "experiments", "skipped", "discoveries", "known anomalies"
+    );
+    for report in &reports {
+        let info = report.subsystem.info();
+        println!(
+            "{:<4} {:<10} {:<12} {:>12} {:>10} {:>12} {:>14}",
+            report.subsystem.to_string(),
+            info.rnic,
+            info.speed,
+            report.outcome.experiments,
+            report.outcome.skipped_by_mfs,
+            report.outcome.discoveries.len(),
+            report.outcome.distinct_known_anomalies().len()
+        );
+    }
+
+    // What does each platform expose that the others do not?
+    println!("\nAnomaly surface comparison (catalogued rules hit per subsystem):");
+    let sets: Vec<(SubsystemId, BTreeSet<String>)> = reports
+        .iter()
+        .map(|r| (r.subsystem, r.outcome.distinct_known_anomalies()))
+        .collect();
+    for (id, rules) in &sets {
+        let unique: Vec<&String> = rules
+            .iter()
+            .filter(|r| sets.iter().filter(|(o, s)| o != id && s.contains(*r)).count() == 0)
+            .collect();
+        println!(
+            "  {id}: {} rules ({} unique to this platform)",
+            rules.len(),
+            unique.len()
+        );
+        for rule in rules {
+            let marker = if unique.contains(&rule) { "*" } else { " " };
+            println!("     {marker} {rule}");
+        }
+    }
+
+    // Which platform lets the flagship application ship sooner? Check the
+    // reachable anomalies under the application's envelope and whether each
+    // has a documented fix.
+    println!("\nFlagship application envelope (RC-only RPC library) per platform:");
+    let restriction = SpaceRestriction::rpc_library();
+    for report in &reports {
+        let advisor = Advisor::for_subsystem(report.subsystem);
+        let reachable = advisor.reachable_anomalies(&restriction);
+        let fixed: usize = reachable
+            .iter()
+            .filter(|a| RemediationPlan::for_anomaly(a).has_fix())
+            .count();
+        println!(
+            "  {}: {} reachable anomalies, {} of them already have a vendor fix",
+            report.subsystem,
+            reachable.len(),
+            fixed
+        );
+        for anomaly in reachable {
+            let plan = RemediationPlan::for_anomaly(anomaly);
+            println!(
+                "     #{:<2} {:<16} {}",
+                anomaly.id,
+                format!("({})", anomaly.symptom),
+                if plan.has_fix() {
+                    "fix available"
+                } else {
+                    "must be designed around"
+                }
+            );
+        }
+    }
+
+    // Time-to-first-find is the operational question: how long does the
+    // qualification run need to be before it starts paying off?
+    println!("\nTime to the first three distinct catalogued anomalies (simulated minutes):");
+    for report in &reports {
+        let times: Vec<String> = (1..=3)
+            .map(|n| match report.outcome.time_to_find(n) {
+                Some(t) => format!("{:.0}", t.as_secs_f64() / 60.0),
+                None => "-".to_string(),
+            })
+            .collect();
+        println!("  {}: {}", report.subsystem, times.join(" / "));
+    }
+}

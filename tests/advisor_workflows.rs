@@ -1,0 +1,161 @@
+//! Integration test: the two §7.3 application-design workflows.
+//!
+//! Case 1 (anomaly prevention): before the RC-only RPC library is built,
+//! restrict the search space to its envelope and ask which anomalies remain
+//! reachable — the paper reports Collie pointed at #4 and #5 and the
+//! library was designed around them.
+//!
+//! Case 2 (debugging / bypassing): the BytePS-style distributed training
+//! job hit anomaly #9 on the new AMD subsystem; matching the running
+//! workload against the MFS set produced the bypass (stop mixing small and
+//! large messages in one SG list) that unblocked the deployment before the
+//! vendor fix existed.
+
+use collie::prelude::*;
+
+#[test]
+fn prevention_rpc_library_reaches_4_and_5_but_not_ud_or_gpu_anomalies() {
+    let advisor = Advisor::for_subsystem(SubsystemId::F);
+    let restriction = SpaceRestriction::rpc_library();
+
+    let reachable: Vec<u32> = advisor
+        .reachable_anomalies(&restriction)
+        .iter()
+        .map(|a| a.id)
+        .collect();
+
+    assert!(reachable.contains(&4), "RC READ batching anomaly is reachable");
+    assert!(reachable.contains(&5), "RC SEND receive-queue anomaly is reachable");
+    for ud_only in [1u32, 2] {
+        assert!(!reachable.contains(&ud_only), "#{ud_only} needs UD, excluded by the envelope");
+    }
+    assert!(!reachable.contains(&12), "GPU-Direct anomaly is outside the envelope");
+    assert!(!reachable.contains(&13), "loopback anomaly is outside the envelope");
+
+    // Every reachable anomaly comes with an actionable suggestion.
+    let report = advisor.prevention_report(&restriction);
+    assert_eq!(report.len(), reachable.len());
+    for suggestion in &report {
+        assert!(!suggestion.matched_conditions.is_empty());
+        assert!(suggestion.recommendation.contains("condition"));
+    }
+}
+
+#[test]
+fn prevention_narrower_envelope_eliminates_more_anomalies() {
+    let advisor = Advisor::for_subsystem(SubsystemId::F);
+
+    // The design the paper settles on: WRITE-based data path with careful
+    // receive-queue sizing and small doorbell batches.
+    let tight = SpaceRestriction {
+        transports: vec![Transport::Rc],
+        opcodes: vec![Opcode::Write],
+        max_qps: Some(64),
+        max_wqe_batch: Some(16),
+        max_sge: Some(2),
+        max_recv_queue_depth: Some(256),
+        allow_bidirectional: true,
+        allow_loopback: false,
+        allow_gpu_memory: false,
+    };
+    let loose = SpaceRestriction::rpc_library();
+
+    let tight_count = advisor.reachable_anomalies(&tight).len();
+    let loose_count = advisor.reachable_anomalies(&loose).len();
+    assert!(
+        tight_count < loose_count,
+        "restricting batching/queue depths should remove reachable anomalies \
+         ({tight_count} vs {loose_count})"
+    );
+    // The tightened design avoids the two anomalies the paper calls out.
+    let tight_ids: Vec<u32> = advisor
+        .reachable_anomalies(&tight)
+        .iter()
+        .map(|a| a.id)
+        .collect();
+    assert!(!tight_ids.contains(&4));
+    assert!(!tight_ids.contains(&5));
+}
+
+#[test]
+fn debugging_dml_workload_is_matched_to_anomaly_9_with_a_bypass() {
+    // Describe the BytePS-style workload of §2.2: bidirectional RC WRITE,
+    // SG lists carrying a tensor plus small metadata, a few QPs per pair.
+    let mut workload = SearchPoint::benign();
+    workload.transport = Transport::Rc;
+    workload.opcode = Opcode::Write;
+    workload.bidirectional = true;
+    workload.num_qps = 8;
+    workload.wqe_batch = 8;
+    workload.sge_per_wqe = 3;
+    workload.mr_size_bytes = 4 * 1024 * 1024;
+    workload.messages = vec![128, 64 * 1024, 1024];
+
+    // It really is anomalous on the simulated subsystem.
+    let verdict = collie::assess_workload(SubsystemId::F, &workload);
+    assert_eq!(verdict.symptom, Some(Symptom::PauseStorm));
+
+    // The advisor matches it against the catalog and suggests a change.
+    let advisor = Advisor::for_subsystem(SubsystemId::F);
+    let suggestions = advisor.diagnose(&workload);
+    assert!(
+        suggestions.iter().any(|s| s.anomaly.starts_with("#9")),
+        "expected a #9 match, got {suggestions:?}"
+    );
+
+    // Following the suggestion (stop mixing small and large messages in the
+    // SG list) makes the workload healthy without waiting for a fix.
+    let mut bypassed = workload.clone();
+    bypassed.messages = vec![64 * 1024];
+    assert!(!collie::assess_workload(SubsystemId::F, &bypassed).is_anomalous());
+}
+
+#[test]
+fn debugging_with_mfs_discovered_by_a_real_campaign() {
+    // Run a short campaign, then hand its MFS set to the advisor the way an
+    // operator would after a night of searching.
+    let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+    let space = SearchSpace::for_host(&SubsystemId::F.host());
+    let config = SearchConfig::collie(31).with_budget(SimDuration::from_secs(2 * 3600));
+    let outcome = collie::core::search::run_search(&mut engine, &space, &config);
+    assert!(!outcome.discoveries.is_empty());
+
+    let discovered: Vec<Mfs> = outcome.discoveries.iter().map(|d| d.mfs.clone()).collect();
+    let advisor = Advisor::for_subsystem(SubsystemId::F).with_discovered(discovered);
+
+    // A workload matching one of the discovered MFSes gets a suggestion
+    // naming the cheapest condition to break. (Discoveries whose MFS came
+    // out empty — compound-overload points — carry no condition to break,
+    // so pick one that has conditions.)
+    let discovery = outcome
+        .discoveries
+        .iter()
+        .find(|d| !d.mfs.is_empty())
+        .expect("at least one discovery with necessary conditions");
+    let suggestions = advisor.diagnose(&discovery.point);
+    assert!(
+        suggestions
+            .iter()
+            .any(|s| s.anomaly.starts_with("discovered anomaly")),
+        "{suggestions:?}"
+    );
+    assert!(suggestions
+        .iter()
+        .any(|s| s.recommendation.contains("break the")));
+}
+
+#[test]
+fn benign_and_out_of_envelope_workloads_produce_no_noise() {
+    let advisor = Advisor::for_subsystem(SubsystemId::F);
+    assert!(advisor.diagnose(&SearchPoint::benign()).is_empty());
+
+    // A workload on the Broadcom subsystem is not diagnosed against the
+    // ConnectX-6 catalog entries for the other vendor's NIC-specific bugs.
+    let advisor_h = Advisor::for_subsystem(SubsystemId::H);
+    let anomaly1 = KnownAnomaly::by_id(1).unwrap();
+    let suggestions = advisor_h.diagnose(&anomaly1.trigger);
+    assert!(
+        suggestions.iter().all(|s| !s.anomaly.starts_with("#1 ")),
+        "subsystem H's advisor should not cite the CX-6-only anomaly #1: {suggestions:?}"
+    );
+}

@@ -1,0 +1,232 @@
+//! Integration test: replay every Appendix-A concrete trigger setting.
+//!
+//! Table 2 / Appendix A of the paper list eighteen anomalies together with
+//! a simplified concrete workload that reproduces each one. These tests
+//! drive the full stack — search-point → workload engine → subsystem model
+//! → anomaly monitor — and check that:
+//!
+//! * every concrete trigger reproduces the documented symptom on its
+//!   documented subsystem (the Table-2 "Symptom" column),
+//! * breaking a necessary condition makes the anomaly disappear (which is
+//!   what makes the MFS of §5.2 meaningful), and
+//! * the three "old" anomalies and the fifteen new ones are partitioned the
+//!   way the paper reports.
+
+use collie::prelude::*;
+
+fn assess(subsystem: SubsystemId, point: &SearchPoint) -> AnomalyVerdict {
+    collie::assess_workload(subsystem, point)
+}
+
+#[test]
+fn all_eighteen_triggers_reproduce_their_symptom() {
+    for anomaly in KnownAnomaly::all() {
+        let verdict = assess(anomaly.subsystem, &anomaly.trigger);
+        assert_eq!(
+            verdict.symptom,
+            Some(anomaly.symptom),
+            "anomaly #{} on subsystem {}: expected {:?}, observed {:?} \
+             (pause ratio {:.4}, spec fraction {:.2})",
+            anomaly.id,
+            anomaly.subsystem,
+            anomaly.symptom,
+            verdict.symptom,
+            verdict.pause_ratio,
+            verdict.spec_fraction
+        );
+    }
+}
+
+#[test]
+fn pause_storm_anomalies_exceed_the_pause_threshold_low_throughput_ones_do_not() {
+    for anomaly in KnownAnomaly::all() {
+        let verdict = assess(anomaly.subsystem, &anomaly.trigger);
+        match anomaly.symptom {
+            Symptom::PauseStorm => {
+                assert!(
+                    verdict.pause_ratio > 0.001,
+                    "#{}: pause storm should exceed the 0.1% threshold, got {:.5}",
+                    anomaly.id,
+                    verdict.pause_ratio
+                );
+            }
+            Symptom::LowThroughput => {
+                assert!(
+                    verdict.pause_ratio <= 0.001,
+                    "#{}: low-throughput anomalies must not emit pause frames, got {:.5}",
+                    anomaly.id,
+                    verdict.pause_ratio
+                );
+                assert!(
+                    verdict.spec_fraction < 0.8,
+                    "#{}: throughput should sit >20% below spec, got {:.2}",
+                    anomaly.id,
+                    verdict.spec_fraction
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_ground_truth_oracle_matches_each_trigger_to_its_rule() {
+    for anomaly in KnownAnomaly::all() {
+        let engine = WorkloadEngine::for_catalog(anomaly.subsystem);
+        let rules = engine.ground_truth(&anomaly.trigger);
+        assert!(
+            rules.iter().any(|r| *r == anomaly.rule),
+            "anomaly #{}: ground truth {:?} does not contain {}",
+            anomaly.id,
+            rules,
+            anomaly.rule
+        );
+    }
+}
+
+#[test]
+fn old_and_new_anomalies_are_partitioned_as_in_the_paper() {
+    let all = KnownAnomaly::all();
+    assert_eq!(all.len(), 18, "Table 2 lists 18 anomalies");
+    let old: Vec<u32> = all.iter().filter(|a| !a.new).map(|a| a.id).collect();
+    let new_count = all.iter().filter(|a| a.new).count();
+    assert_eq!(old, vec![9, 12, 13], "three previously known anomalies");
+    assert_eq!(new_count, 15, "fifteen anomalies newly found by Collie");
+    // Subsystem split: #1–#13 on F (ConnectX-6), #14–#18 on H (P2100G).
+    assert!(all
+        .iter()
+        .all(|a| (a.id <= 13) == (a.subsystem == SubsystemId::F)));
+    assert!(all
+        .iter()
+        .all(|a| (a.id >= 14) == (a.subsystem == SubsystemId::H)));
+}
+
+/// For a selection of anomalies whose Table-2 row names a specific
+/// necessary condition, breaking that condition alone must make the
+/// anomaly disappear.
+#[test]
+fn breaking_a_documented_necessary_condition_untriggers_the_anomaly() {
+    // (anomaly id, mutation that breaks one necessary condition)
+    let break_one: Vec<(u32, Box<dyn Fn(&mut SearchPoint)>)> = vec![
+        // #1: WQE batch >= 64 is necessary.
+        (1, Box::new(|p: &mut SearchPoint| p.wqe_batch = 4)),
+        // #2: work queue >= 1024 is necessary.
+        (2, Box::new(|p: &mut SearchPoint| p.recv_queue_depth = 128)),
+        // #3: MTU <= 1024 is necessary (the documented fix raises it).
+        (3, Box::new(|p: &mut SearchPoint| p.mtu = 4096)),
+        // #4: bidirectional traffic is necessary.
+        (4, Box::new(|p: &mut SearchPoint| p.bidirectional = false)),
+        // #5: message sizes in 2KB..8KB are necessary.
+        (5, Box::new(|p: &mut SearchPoint| p.messages = vec![64 * 1024])),
+        // #6: >= ~32 QPs are necessary.
+        (6, Box::new(|p: &mut SearchPoint| p.num_qps = 2)),
+        // #7: >= ~480 QPs are necessary.
+        (7, Box::new(|p: &mut SearchPoint| p.num_qps = 16)),
+        // #8: >= ~12K MRs are necessary.
+        (8, Box::new(|p: &mut SearchPoint| p.mrs_per_qp = 1)),
+        // #9: the small/large message mix is necessary.
+        (9, Box::new(|p: &mut SearchPoint| p.messages = vec![64 * 1024])),
+        // #10: WQE batch >= 64 is necessary.
+        (10, Box::new(|p: &mut SearchPoint| p.wqe_batch = 8)),
+        // #11: the cross-socket memory placement is necessary.
+        (
+            11,
+            Box::new(|p: &mut SearchPoint| {
+                p.dst_memory = collie::host::memory::MemoryTarget::local_dram()
+            }),
+        ),
+        // #12: GPU memory is necessary.
+        (
+            12,
+            Box::new(|p: &mut SearchPoint| {
+                p.src_memory = collie::host::memory::MemoryTarget::local_dram();
+                p.dst_memory = collie::host::memory::MemoryTarget::local_dram();
+            }),
+        ),
+        // #13: the loopback flow is necessary.
+        (13, Box::new(|p: &mut SearchPoint| p.with_loopback = false)),
+        // #14: the large MTU is necessary (unusually, lowering it fixes it).
+        (14, Box::new(|p: &mut SearchPoint| p.mtu = 1024)),
+        // #15: >= ~32 QPs are necessary.
+        (15, Box::new(|p: &mut SearchPoint| p.num_qps = 4)),
+        // #16: the small MTU is necessary.
+        (16, Box::new(|p: &mut SearchPoint| p.mtu = 4096)),
+        // #17: messages <= 1KB are necessary.
+        (17, Box::new(|p: &mut SearchPoint| p.messages = vec![256 * 1024])),
+        // #18: bidirectional traffic is necessary.
+        (18, Box::new(|p: &mut SearchPoint| p.bidirectional = false)),
+    ];
+    assert_eq!(break_one.len(), 18);
+
+    for (id, break_condition) in break_one {
+        let anomaly = KnownAnomaly::by_id(id).unwrap();
+        let verdict = assess(anomaly.subsystem, &anomaly.trigger);
+        assert!(verdict.is_anomalous(), "#{id} must trigger before the break");
+
+        let mut broken = anomaly.trigger.clone();
+        break_condition(&mut broken);
+
+        // The broken workload no longer maps to this anomaly.
+        let engine = WorkloadEngine::for_catalog(anomaly.subsystem);
+        let rules = engine.ground_truth(&broken);
+        assert!(
+            !rules.iter().any(|r| *r == anomaly.rule),
+            "#{id}: breaking a necessary condition should stop the workload from \
+             mapping to {} (still maps to {rules:?})",
+            anomaly.rule
+        );
+
+        // When it maps to no catalogued anomaly at all, the end-to-end
+        // symptom disappears too. (A broken trigger may still fall inside a
+        // *different* anomaly — e.g. removing GPU memory from the #12
+        // trigger leaves exactly the #9 workload — in which case the
+        // subsystem legitimately stays anomalous.)
+        if rules.is_empty() {
+            let verdict = assess(anomaly.subsystem, &broken);
+            assert_ne!(
+                verdict.symptom,
+                Some(anomaly.symptom),
+                "#{id}: no catalogued anomaly applies, yet the symptom persists \
+                 (pause {:.4}, spec {:.2})",
+                verdict.pause_ratio,
+                verdict.spec_fraction
+            );
+        }
+    }
+}
+
+/// The anomalies are subsystem-specific: the Broadcom triggers do not
+/// reproduce on the ConnectX-6 subsystem and vice versa (with the exception
+/// of the host-topology anomalies #11–#13, which the paper attributes to
+/// the platform rather than the NIC, and generic overload cases).
+#[test]
+fn nic_specific_triggers_do_not_cross_vendors() {
+    // Broadcom register-fix anomalies are NIC-specific.
+    for id in [17u32, 18] {
+        let anomaly = KnownAnomaly::by_id(id).unwrap();
+        let engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let rules = engine.ground_truth(&anomaly.trigger);
+        assert!(
+            !rules.iter().any(|r| *r == anomaly.rule),
+            "#{id} is a Broadcom anomaly and must not map to the same rule on subsystem F"
+        );
+    }
+    // The CX-6 UD pause storm (#1) does not map to the same rule on the
+    // Broadcom subsystem.
+    let anomaly1 = KnownAnomaly::by_id(1).unwrap();
+    let engine_h = WorkloadEngine::for_catalog(SubsystemId::H);
+    let rules = engine_h.ground_truth(&anomaly1.trigger);
+    assert!(!rules.iter().any(|r| *r == anomaly1.rule));
+}
+
+/// A benign Perftest-style workload stays healthy on every subsystem of
+/// Table 1 — the anomaly definition must not flag ordinary traffic.
+#[test]
+fn benign_workload_is_healthy_on_every_table1_subsystem() {
+    for id in SubsystemId::ALL {
+        let verdict = assess(id, &SearchPoint::benign());
+        assert!(
+            !verdict.is_anomalous(),
+            "benign workload flagged on subsystem {id}: {verdict:?}"
+        );
+    }
+}

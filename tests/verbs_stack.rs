@@ -1,0 +1,370 @@
+//! Integration test: the verbs layer over the simulated fabric.
+//!
+//! Collie's search space is defined entirely in terms of the verbs
+//! abstraction (§4, Figure 3), and the workload engine's faithful path sets
+//! traffic up through the same calls an application would make:
+//! `reg_mr`, `create_qp`, `modify_qp`, `post_send`/`post_recv`, `poll_cq`.
+//! These tests drive that surface directly — state machine, capacity
+//! limits, completion delivery, and agreement with the flow-level fast
+//! path.
+
+use collie::prelude::*;
+use collie::sim::units::ByteSize;
+use collie::verbs::{
+    AccessFlags, CompletionQueue, Fabric, Mtu, QpCaps, QpState, QueuePair, RecvWr, SendWr, Sge,
+    VerbsError, WcOpcode, WcStatus, WrOpcode,
+};
+
+fn connected_pair(
+    fabric: &Fabric,
+    transport: Transport,
+    mtu: Mtu,
+) -> (QueuePair, QueuePair, u32, u32) {
+    let ctx_a = fabric.device(0).open();
+    let ctx_b = fabric.device(1).open();
+    let pd_a = ctx_a.alloc_pd();
+    let pd_b = ctx_b.alloc_pd();
+    let mr_a = pd_a
+        .reg_mr(
+            ByteSize::from_kib(256),
+            collie::host::memory::MemoryTarget::local_dram(),
+            AccessFlags::FULL,
+        )
+        .unwrap();
+    let mr_b = pd_b
+        .reg_mr(
+            ByteSize::from_kib(256),
+            collie::host::memory::MemoryTarget::local_dram(),
+            AccessFlags::FULL,
+        )
+        .unwrap();
+    let cq_a = CompletionQueue::new(1024);
+    let cq_b = CompletionQueue::new(1024);
+    let mut qp_a =
+        QueuePair::create(&pd_a, &cq_a, &cq_a, transport, QpCaps::default()).unwrap();
+    let mut qp_b =
+        QueuePair::create(&pd_b, &cq_b, &cq_b, transport, QpCaps::default()).unwrap();
+    Fabric::connect(&mut qp_a, &mut qp_b, mtu).unwrap();
+    (qp_a, qp_b, mr_a.lkey, mr_b.lkey)
+}
+
+#[test]
+fn qp_state_machine_follows_reset_init_rtr_rts() {
+    let fabric = Fabric::from_catalog(SubsystemId::F);
+    let ctx = fabric.device(0).open();
+    let pd = ctx.alloc_pd();
+    let cq = CompletionQueue::new(16);
+    let qp = QueuePair::create(&pd, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
+    assert_eq!(qp.state(), QpState::Reset);
+
+    // Posting a send before the QP is connected is rejected with the state
+    // error an application would get from a real NIC.
+    let mut early = qp.clone();
+    let err = early
+        .post_send(SendWr {
+            wr_id: 1,
+            opcode: WrOpcode::RdmaWrite,
+            sge: vec![Sge::new(1, 0, 64)],
+            rkey: 1,
+            remote_offset: 0,
+            signaled: true,
+        })
+        .unwrap_err();
+    assert!(matches!(err, VerbsError::InvalidQpState { .. }));
+
+    // The full connection handshake lands both QPs in RTS.
+    let (qp_a, qp_b, _, _) = connected_pair(&fabric, Transport::Rc, Mtu::Mtu4096);
+    assert_eq!(qp_a.state(), QpState::Rts);
+    assert_eq!(qp_b.state(), QpState::Rts);
+    assert_eq!(qp_a.path_mtu(), Mtu::Mtu4096);
+    assert_eq!(qp_a.remote_qp_num(), Some(qp_b.qp_num()));
+    assert_eq!(qp_b.remote_host_index(), Some(0));
+}
+
+#[test]
+fn transport_mismatch_and_zero_depth_are_rejected() {
+    let fabric = Fabric::from_catalog(SubsystemId::F);
+    let ctx_a = fabric.device(0).open();
+    let ctx_b = fabric.device(1).open();
+    let pd_a = ctx_a.alloc_pd();
+    let pd_b = ctx_b.alloc_pd();
+    let cq = CompletionQueue::new(16);
+
+    let mut rc = QueuePair::create(&pd_a, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
+    let mut ud = QueuePair::create(&pd_b, &cq, &cq, Transport::Ud, QpCaps::default()).unwrap();
+    assert!(matches!(
+        Fabric::connect(&mut rc, &mut ud, Mtu::Mtu1024).unwrap_err(),
+        VerbsError::ConnectionFailed { .. }
+    ));
+
+    let bad_caps = QpCaps {
+        max_send_wr: 0,
+        ..QpCaps::default()
+    };
+    assert!(matches!(
+        QueuePair::create(&pd_a, &cq, &cq, Transport::Rc, bad_caps).unwrap_err(),
+        VerbsError::InvalidAttribute { .. }
+    ));
+}
+
+#[test]
+fn invalid_opcode_for_transport_is_rejected_at_post_time() {
+    let fabric = Fabric::from_catalog(SubsystemId::F);
+    let (mut ud_a, _ud_b, lkey, _) = connected_pair(&fabric, Transport::Ud, Mtu::Mtu2048);
+    // UD supports only SEND; READ and WRITE must be rejected.
+    for opcode in [WrOpcode::RdmaRead, WrOpcode::RdmaWrite] {
+        let err = ud_a
+            .post_send(SendWr {
+                wr_id: 9,
+                opcode,
+                sge: vec![Sge::new(lkey, 0, 1024)],
+                rkey: 0,
+                remote_offset: 0,
+                signaled: true,
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, VerbsError::UnsupportedOpcode { .. }),
+            "{opcode:?} on UD should be unsupported, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn memory_registration_enforces_size_and_reports_device_limits() {
+    let fabric = Fabric::from_catalog(SubsystemId::F);
+    let ctx = fabric.device(0).open();
+    let pd = ctx.alloc_pd();
+
+    // The paper bounds its search space by the device limits; the simulated
+    // device reports the same 20K QP / 200K MR bounds.
+    let attr = ctx.query_device();
+    assert_eq!(attr.max_qp, 20_000);
+    assert_eq!(attr.max_mr, 200_000);
+    assert!(ctx.query_port().link_speed.gbps() >= 100.0);
+
+    // Zero-length registrations fail like ibv_reg_mr would.
+    assert!(matches!(
+        pd.reg_mr(
+            ByteSize::ZERO,
+            collie::host::memory::MemoryTarget::local_dram(),
+            AccessFlags::FULL
+        )
+        .unwrap_err(),
+        VerbsError::RegistrationFailed { .. }
+    ));
+
+    // Successful registrations are tracked by the PD.
+    let mr = pd
+        .reg_mr(
+            ByteSize::from_kib(64),
+            collie::host::memory::MemoryTarget::local_dram(),
+            AccessFlags::FULL,
+        )
+        .unwrap();
+    assert_eq!(pd.mr_count(), 1);
+    assert_eq!(pd.pinned_bytes(), ByteSize::from_kib(64));
+    assert!(pd.lookup(mr.lkey).is_some());
+    pd.dereg_mr(&mr).unwrap();
+    assert_eq!(pd.mr_count(), 0);
+}
+
+#[test]
+fn send_queue_capacity_is_enforced() {
+    let fabric = Fabric::from_catalog(SubsystemId::F);
+    let ctx_a = fabric.device(0).open();
+    let ctx_b = fabric.device(1).open();
+    let pd_a = ctx_a.alloc_pd();
+    let pd_b = ctx_b.alloc_pd();
+    let mr = pd_a
+        .reg_mr(
+            ByteSize::from_kib(64),
+            collie::host::memory::MemoryTarget::local_dram(),
+            AccessFlags::FULL,
+        )
+        .unwrap();
+    let cq = CompletionQueue::new(64);
+    let caps = QpCaps {
+        max_send_wr: 4,
+        max_recv_wr: 4,
+        max_send_sge: 2,
+        max_recv_sge: 2,
+    };
+    let mut qp_a = QueuePair::create(&pd_a, &cq, &cq, Transport::Rc, caps).unwrap();
+    let mut qp_b = QueuePair::create(&pd_b, &cq, &cq, Transport::Rc, caps).unwrap();
+    Fabric::connect(&mut qp_a, &mut qp_b, Mtu::Mtu1024).unwrap();
+
+    let wr = |id: u64| SendWr {
+        wr_id: id,
+        opcode: WrOpcode::RdmaWrite,
+        sge: vec![Sge::new(mr.lkey, 0, 4096)],
+        rkey: 1,
+        remote_offset: 0,
+        signaled: true,
+    };
+    for id in 0..4 {
+        qp_a.post_send(wr(id)).unwrap();
+    }
+    assert!(matches!(
+        qp_a.post_send(wr(99)).unwrap_err(),
+        VerbsError::QueueFull { .. }
+    ));
+    assert_eq!(qp_a.pending_send_count(), 4);
+
+    // SG lists beyond the QP capability are rejected too.
+    let fat = SendWr {
+        wr_id: 100,
+        opcode: WrOpcode::RdmaWrite,
+        sge: vec![Sge::new(mr.lkey, 0, 64); 3],
+        rkey: 1,
+        remote_offset: 0,
+        signaled: true,
+    };
+    let mut qp_fresh = QueuePair::create(&pd_a, &cq, &cq, Transport::Rc, caps).unwrap();
+    let mut qp_peer = QueuePair::create(&pd_b, &cq, &cq, Transport::Rc, caps).unwrap();
+    Fabric::connect(&mut qp_fresh, &mut qp_peer, Mtu::Mtu1024).unwrap();
+    assert!(matches!(
+        qp_fresh.post_send(fat).unwrap_err(),
+        VerbsError::TooManySges { .. }
+    ));
+}
+
+#[test]
+fn running_the_fabric_delivers_completions_and_a_measurement() {
+    let mut fabric = Fabric::from_catalog(SubsystemId::F);
+    let (mut qp_a, mut qp_b, lkey_a, lkey_b) = connected_pair(&fabric, Transport::Rc, Mtu::Mtu4096);
+
+    // Two-sided exchange: pre-post receives on B, batch sends on A.
+    for slot in 0..8u64 {
+        qp_b.post_recv(RecvWr {
+            wr_id: slot,
+            sge: vec![Sge::new(lkey_b, 0, 64 * 1024)],
+        })
+        .unwrap();
+    }
+    let batch: Vec<SendWr> = (0..8u64)
+        .map(|id| SendWr {
+            wr_id: id,
+            opcode: WrOpcode::Send,
+            sge: vec![Sge::new(lkey_a, 0, 32 * 1024)],
+            rkey: 0,
+            remote_offset: 0,
+            signaled: true,
+        })
+        .collect();
+    qp_a.post_send_batch(batch).unwrap();
+
+    let measurement = fabric.run(&mut [&mut qp_a, &mut qp_b]).unwrap();
+    assert!(measurement.total_throughput().gbps() > 0.0);
+    assert!(measurement.max_pause_ratio() < 0.001, "small benign exchange");
+
+    // Send-side completions on A, receive-side completions on B.
+    let send_wcs = qp_a.send_cq().poll(64);
+    assert_eq!(send_wcs.len(), 8);
+    assert!(send_wcs
+        .iter()
+        .all(|wc| wc.status == WcStatus::Success && wc.opcode == WcOpcode::Send));
+    let recv_wcs = qp_b.recv_cq().poll(64);
+    assert_eq!(recv_wcs.len(), 8);
+    assert!(recv_wcs
+        .iter()
+        .all(|wc| wc.status == WcStatus::Success && wc.opcode == WcOpcode::Recv));
+    assert!(recv_wcs.iter().all(|wc| wc.byte_len == 32 * 1024));
+
+    // Polling again returns nothing: completions are consumed.
+    assert!(qp_a.send_cq().poll(64).is_empty());
+}
+
+#[test]
+fn verbs_traffic_reproduces_an_appendix_a_anomaly() {
+    // Build Anomaly #1's workload through the verbs API alone (UD SEND,
+    // 64-WQE doorbell batches, 256-deep receive queue) and confirm the
+    // fabric measurement shows the pause storm the appendix documents.
+    let mut fabric = Fabric::from_catalog(SubsystemId::F);
+    let ctx_a = fabric.device(0).open();
+    let ctx_b = fabric.device(1).open();
+    let pd_a = ctx_a.alloc_pd();
+    let pd_b = ctx_b.alloc_pd();
+    let mr_a = pd_a
+        .reg_mr(
+            ByteSize::from_kib(64),
+            collie::host::memory::MemoryTarget::local_dram(),
+            AccessFlags::FULL,
+        )
+        .unwrap();
+    let mr_b = pd_b
+        .reg_mr(
+            ByteSize::from_kib(64),
+            collie::host::memory::MemoryTarget::local_dram(),
+            AccessFlags::FULL,
+        )
+        .unwrap();
+    let caps = QpCaps {
+        max_send_wr: 256,
+        max_recv_wr: 256,
+        max_send_sge: 4,
+        max_recv_sge: 4,
+    };
+    let cq_a = CompletionQueue::new(4096);
+    let cq_b = CompletionQueue::new(4096);
+    let mut sender = QueuePair::create(&pd_a, &cq_a, &cq_a, Transport::Ud, caps).unwrap();
+    let mut receiver = QueuePair::create(&pd_b, &cq_b, &cq_b, Transport::Ud, caps).unwrap();
+    Fabric::connect(&mut sender, &mut receiver, Mtu::Mtu2048).unwrap();
+
+    for slot in 0..256u64 {
+        receiver
+            .post_recv(RecvWr {
+                wr_id: slot,
+                sge: vec![Sge::new(mr_b.lkey, 0, 2048)],
+            })
+            .unwrap();
+    }
+    let batch: Vec<SendWr> = (0..64u64)
+        .map(|id| SendWr {
+            wr_id: id,
+            opcode: WrOpcode::Send,
+            sge: vec![Sge::new(mr_a.lkey, 0, 2048)],
+            rkey: 0,
+            remote_offset: 0,
+            signaled: true,
+        })
+        .collect();
+    sender.post_send_batch(batch).unwrap();
+
+    let measurement = fabric.run(&mut [&mut sender, &mut receiver]).unwrap();
+    assert!(
+        measurement.max_pause_ratio() > 0.001,
+        "the UD doorbell-batch workload should produce pause frames, got {:.4}",
+        measurement.max_pause_ratio()
+    );
+}
+
+#[test]
+fn derived_workload_groups_identical_qps_into_one_flow() {
+    let fabric = Fabric::from_catalog(SubsystemId::F);
+    let mut endpoints = Vec::new();
+    for _ in 0..4 {
+        let (mut a, b, lkey, _) = connected_pair(&fabric, Transport::Rc, Mtu::Mtu4096);
+        a.post_send_batch(vec![SendWr {
+            wr_id: 0,
+            opcode: WrOpcode::RdmaWrite,
+            sge: vec![Sge::new(lkey, 0, 65536)],
+            rkey: 1,
+            remote_offset: 0,
+            signaled: true,
+        }])
+        .unwrap();
+        endpoints.push((a, b));
+    }
+    let mut refs: Vec<&mut QueuePair> = Vec::new();
+    for (a, b) in endpoints.iter_mut() {
+        refs.push(a);
+        refs.push(b);
+    }
+    let workload = fabric.derive_workload(&refs);
+    assert_eq!(workload.flows.len(), 1, "identical QPs group into one flow");
+    assert_eq!(workload.flows[0].num_qps, 4);
+    assert_eq!(workload.flows[0].transport, Transport::Rc);
+    assert_eq!(workload.flows[0].opcode, Opcode::Write);
+    assert!(workload.is_valid());
+}
