@@ -3,12 +3,12 @@
 //! The full 10-hour campaigns live in the `fig4` binary; the bench tracks
 //! the wall-clock cost of the campaign machinery so the harness stays fast.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use collie_core::engine::WorkloadEngine;
 use collie_core::search::{run_search, SearchConfig, SearchStrategy};
 use collie_core::space::SearchSpace;
 use collie_rnic::subsystems::SubsystemId;
 use collie_sim::time::SimDuration;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4/one_hour_campaign");

@@ -3,12 +3,12 @@
 //! the ablation machinery (signal switching, MFS toggling) does not change
 //! the campaign's wall-clock cost class.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use collie_core::engine::WorkloadEngine;
 use collie_core::search::{run_search, SearchConfig, SignalMode};
 use collie_core::space::SearchSpace;
 use collie_rnic::subsystems::SubsystemId;
 use collie_sim::time::SimDuration;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ablation_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5/one_hour_variant");
@@ -20,17 +20,21 @@ fn bench_ablation_variants(c: &mut Criterion) {
         ("diag_mfs", SignalMode::Diagnostic, true),
     ];
     for (name, signal, use_mfs) in variants {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(signal, use_mfs), |b, &(signal, use_mfs)| {
-            b.iter(|| {
-                let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
-                let space = SearchSpace::for_host(&SubsystemId::F.host());
-                let config = SearchConfig::collie(29)
-                    .with_signal(signal)
-                    .with_mfs(use_mfs)
-                    .with_budget(SimDuration::from_secs(3600));
-                black_box(run_search(&mut engine, &space, &config))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(signal, use_mfs),
+            |b, &(signal, use_mfs)| {
+                b.iter(|| {
+                    let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+                    let space = SearchSpace::for_host(&SubsystemId::F.host());
+                    let config = SearchConfig::collie(29)
+                        .with_signal(signal)
+                        .with_mfs(use_mfs)
+                        .with_budget(SimDuration::from_secs(3600));
+                    black_box(run_search(&mut engine, &space, &config))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,13 +1,13 @@
 //! Figure-6 bench: recording and normalising the diagnostic-counter trace
 //! of a campaign, and the per-experiment overhead of trace recording.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use collie_core::engine::WorkloadEngine;
 use collie_core::report::TraceSeries;
 use collie_core::search::{run_search, SearchConfig};
 use collie_core::space::SearchSpace;
 use collie_rnic::subsystems::SubsystemId;
 use collie_sim::time::SimDuration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_trace_generation(c: &mut Criterion) {
     c.bench_function("fig6/30min_collie_trace", |b| {

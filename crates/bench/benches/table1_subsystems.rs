@@ -3,10 +3,10 @@
 //! uniform across RNIC models and host platforms, so campaign runtimes in
 //! fig4/fig5 are not skewed by one subsystem being slower to simulate.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use collie_core::engine::WorkloadEngine;
 use collie_core::space::SearchPoint;
 use collie_rnic::subsystems::SubsystemId;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_baseline_per_subsystem(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/baseline_experiment");
@@ -26,5 +26,9 @@ fn bench_subsystem_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_baseline_per_subsystem, bench_subsystem_construction);
+criterion_group!(
+    benches,
+    bench_baseline_per_subsystem,
+    bench_subsystem_construction
+);
 criterion_main!(benches);

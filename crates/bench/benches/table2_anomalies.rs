@@ -2,10 +2,10 @@
 //! Measures the cost of one full anomaly replay (measurement + detection)
 //! and of the whole 18-row table regeneration.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use collie_core::catalog::KnownAnomaly;
 use collie_core::engine::WorkloadEngine;
 use collie_core::monitor::AnomalyMonitor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_single_anomaly_replay(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/replay");

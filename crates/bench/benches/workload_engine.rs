@@ -4,13 +4,13 @@
 //! every campaign pays thousands of times, so regressions here directly
 //! stretch the fig4/fig5 harness runtime.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use collie_core::catalog::KnownAnomaly;
 use collie_core::engine::WorkloadEngine;
 use collie_core::monitor::{AnomalyMonitor, MfsExtractor};
 use collie_core::space::{SearchPoint, SearchSpace};
 use collie_rnic::subsystems::SubsystemId;
 use collie_sim::rng::SimRng;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_evaluate(c: &mut Criterion) {
     let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);

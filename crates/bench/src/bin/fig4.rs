@@ -53,11 +53,19 @@ fn main() {
         all_rows.extend(rows);
     }
 
-    println!("Figure 4: mean time (simulated minutes) to find N distinct anomalies on subsystem F\n");
+    println!(
+        "Figure 4: mean time (simulated minutes) to find N distinct anomalies on subsystem F\n"
+    );
     println!(
         "{}",
         text_table(
-            &["Strategy", "Anomalies found", "Mean minutes", "Std", "Seeds reaching"],
+            &[
+                "Strategy",
+                "Anomalies found",
+                "Mean minutes",
+                "Std",
+                "Seeds reaching"
+            ],
             &table_rows
         )
     );

@@ -17,8 +17,12 @@ fn main() {
     let subsystem = SubsystemId::F;
     let max_anomalies = KnownAnomaly::for_subsystem(subsystem).len();
     let configs = vec![
-        SearchConfig::collie(0).with_mfs(false).with_signal(SignalMode::Performance),
-        SearchConfig::collie(0).with_mfs(false).with_signal(SignalMode::Diagnostic),
+        SearchConfig::collie(0)
+            .with_mfs(false)
+            .with_signal(SignalMode::Performance),
+        SearchConfig::collie(0)
+            .with_mfs(false)
+            .with_signal(SignalMode::Diagnostic),
         SearchConfig::collie(0).with_signal(SignalMode::Performance),
         SearchConfig::collie(0).with_signal(SignalMode::Diagnostic),
     ];
@@ -60,7 +64,13 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["Variant", "Anomalies found", "Mean minutes", "Std", "Seeds reaching"],
+            &[
+                "Variant",
+                "Anomalies found",
+                "Mean minutes",
+                "Std",
+                "Seeds reaching"
+            ],
             &table_rows
         )
     );

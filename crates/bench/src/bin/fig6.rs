@@ -20,7 +20,10 @@ fn main() {
     let budget = SimDuration::from_secs(150 * 60);
     let configs = vec![
         ("Random", SearchConfig::random(0).with_budget(budget)),
-        ("SA(Diag)", SearchConfig::collie(0).with_mfs(false).with_budget(budget)),
+        (
+            "SA(Diag)",
+            SearchConfig::collie(0).with_mfs(false).with_budget(budget),
+        ),
         ("Collie(Diag)", SearchConfig::collie(0).with_budget(budget)),
     ];
 
@@ -39,7 +42,11 @@ fn main() {
         let mean_value = if series.points.is_empty() {
             0.0
         } else {
-            series.points.iter().map(|p| p.normalized_value).sum::<f64>()
+            series
+                .points
+                .iter()
+                .map(|p| p.normalized_value)
+                .sum::<f64>()
                 / series.points.len() as f64
         };
         summary_rows.push(vec![

@@ -19,7 +19,8 @@ fn main() {
     for id in SubsystemId::ALL {
         let info = id.info();
         let mut engine = WorkloadEngine::for_catalog(id);
-        let (measurement, verdict) = monitor.measure_and_assess(&mut engine, &SearchPoint::benign());
+        let (measurement, verdict) =
+            monitor.measure_and_assess(&mut engine, &SearchPoint::benign());
         rows.push(vec![
             info.id.to_string(),
             info.rnic.clone(),
@@ -47,11 +48,24 @@ fn main() {
         "{}",
         text_table(
             &[
-                "Type", "RNIC", "Speed", "CPU", "PCIe", "NPS", "Memory", "GPU", "BIOS", "Kernel",
-                "Baseline tput", "Pause ratio"
+                "Type",
+                "RNIC",
+                "Speed",
+                "CPU",
+                "PCIe",
+                "NPS",
+                "Memory",
+                "GPU",
+                "BIOS",
+                "Kernel",
+                "Baseline tput",
+                "Pause ratio"
             ],
             &rows
         )
     );
-    println!("JSON:\n{}", serde_json::to_string_pretty(&json_rows).unwrap());
+    println!(
+        "JSON:\n{}",
+        serde_json::to_string_pretty(&json_rows).unwrap()
+    );
 }

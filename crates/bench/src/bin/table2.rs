@@ -20,10 +20,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut records: Vec<Table2Row> = Vec::new();
 
-    println!("Search space size (nominal bounds of §4/§5): ~1e{:.0} points\n",
+    println!(
+        "Search space size (nominal bounds of §4/§5): ~1e{:.0} points\n",
         SearchSpace::for_host(&collie_rnic::subsystems::SubsystemId::F.host())
             .nominal_cardinality()
-            .log10());
+            .log10()
+    );
 
     for anomaly in KnownAnomaly::all() {
         let mut engine = WorkloadEngine::for_catalog(anomaly.subsystem);
@@ -59,9 +61,7 @@ fn main() {
                 let replacements: Vec<FeatureValue> = match condition {
                     FeatureCondition::AtLeast(_) => numeric(true).into_iter().collect(),
                     FeatureCondition::AtMost(_) => numeric(false).into_iter().collect(),
-                    FeatureCondition::Equals(_) => {
-                        space.alternatives(&anomaly.trigger, *feature)
-                    }
+                    FeatureCondition::Equals(_) => space.alternatives(&anomaly.trigger, *feature),
                 };
                 for replacement in replacements {
                     let mut broken = anomaly.trigger.clone();
@@ -103,7 +103,12 @@ fn main() {
             format!("{:.2}%", row.pause_ratio * 100.0),
             format!("{:.0}%", row.spec_fraction * 100.0),
             if row.reproduced() { "yes" } else { "NO" }.to_string(),
-            if row.condition_break_verified { "yes" } else { "no" }.to_string(),
+            if row.condition_break_verified {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
         records.push(row);
     }
@@ -113,8 +118,17 @@ fn main() {
         "{}",
         text_table(
             &[
-                "Anomaly", "RNIC", "Subsys", "New", "Necessary conditions", "Expected", "Observed",
-                "Pause", "Spec frac", "Reproduced", "Break verified"
+                "Anomaly",
+                "RNIC",
+                "Subsys",
+                "New",
+                "Necessary conditions",
+                "Expected",
+                "Observed",
+                "Pause",
+                "Spec frac",
+                "Reproduced",
+                "Break verified"
             ],
             &rows
         )

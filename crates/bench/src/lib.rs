@@ -48,7 +48,10 @@ pub fn run_seeded_campaigns(
         }
     })
     .expect("campaign scope");
-    outcomes.into_iter().map(|o| o.expect("campaign ran")).collect()
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("campaign ran"))
+        .collect()
 }
 
 /// Render rows of `(label, cells)` as an aligned text table.

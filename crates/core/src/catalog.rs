@@ -49,7 +49,11 @@ impl KnownAnomaly {
     pub fn all() -> Vec<KnownAnomaly> {
         vec![
             // ---- Subsystem F (ConnectX-6) ------------------------------
-            anomaly(1, true, SubsystemId::F, Symptom::PauseStorm,
+            anomaly(
+                1,
+                true,
+                SubsystemId::F,
+                Symptom::PauseStorm,
                 &["UD SEND", "WQE batch >= 64", "work queue >= 256"],
                 |p| {
                     p.transport = Transport::Ud;
@@ -60,9 +64,20 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 256;
                     p.mtu = 2048;
                     p.messages = vec![2048];
-                }),
-            anomaly(2, true, SubsystemId::F, Symptom::LowThroughput,
-                &["UD SEND", "WQE batch <= 8", "work queue >= 1024", "messages <= 1KB", ">= 16 QPs"],
+                },
+            ),
+            anomaly(
+                2,
+                true,
+                SubsystemId::F,
+                Symptom::LowThroughput,
+                &[
+                    "UD SEND",
+                    "WQE batch <= 8",
+                    "work queue >= 1024",
+                    "messages <= 1KB",
+                    ">= 16 QPs",
+                ],
                 |p| {
                     p.transport = Transport::Ud;
                     p.opcode = Opcode::Send;
@@ -72,8 +87,13 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 1024;
                     p.mtu = 1024;
                     p.messages = vec![1024];
-                }),
-            anomaly(3, true, SubsystemId::F, Symptom::PauseStorm,
+                },
+            ),
+            anomaly(
+                3,
+                true,
+                SubsystemId::F,
+                Symptom::PauseStorm,
                 &["RC READ", "MTU <= 1024", "messages >= 16KB"],
                 |p| {
                     p.transport = Transport::Rc;
@@ -85,9 +105,19 @@ impl KnownAnomaly {
                     p.mtu = 1024;
                     p.wqe_batch = 1;
                     p.messages = vec![4 * 1024 * 1024];
-                }),
-            anomaly(4, true, SubsystemId::F, Symptom::PauseStorm,
-                &["bidirectional RC READ", "WQE batch >= 32", "SG list >= 4", ">= ~160 QPs"],
+                },
+            ),
+            anomaly(
+                4,
+                true,
+                SubsystemId::F,
+                Symptom::PauseStorm,
+                &[
+                    "bidirectional RC READ",
+                    "WQE batch >= 32",
+                    "SG list >= 4",
+                    ">= ~160 QPs",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Read;
@@ -99,9 +129,20 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 128;
                     p.mtu = 4096;
                     p.messages = vec![128];
-                }),
-            anomaly(5, true, SubsystemId::F, Symptom::PauseStorm,
-                &["RC SEND", "MTU <= 1024", "WQE batch >= 64", "work queue >= 1024", "messages 2KB..8KB"],
+                },
+            ),
+            anomaly(
+                5,
+                true,
+                SubsystemId::F,
+                Symptom::PauseStorm,
+                &[
+                    "RC SEND",
+                    "MTU <= 1024",
+                    "WQE batch >= 64",
+                    "work queue >= 1024",
+                    "messages 2KB..8KB",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Send;
@@ -112,9 +153,22 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 1024;
                     p.mtu = 1024;
                     p.messages = vec![2048];
-                }),
-            anomaly(6, true, SubsystemId::F, Symptom::LowThroughput,
-                &["RC SEND", "MTU <= 1024", "WQE batch <= 16", "SG list >= 2", "work queue >= 1024", "messages <= 1KB", ">= ~32 QPs"],
+                },
+            ),
+            anomaly(
+                6,
+                true,
+                SubsystemId::F,
+                Symptom::LowThroughput,
+                &[
+                    "RC SEND",
+                    "MTU <= 1024",
+                    "WQE batch <= 16",
+                    "SG list >= 2",
+                    "work queue >= 1024",
+                    "messages <= 1KB",
+                    ">= ~32 QPs",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Send;
@@ -125,9 +179,20 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 1024;
                     p.mtu = 1024;
                     p.messages = vec![1024];
-                }),
-            anomaly(7, true, SubsystemId::F, Symptom::LowThroughput,
-                &["RC WRITE", "no WQE batching", "messages <= 1KB", "work queue <= 16", ">= ~480 QPs"],
+                },
+            ),
+            anomaly(
+                7,
+                true,
+                SubsystemId::F,
+                Symptom::LowThroughput,
+                &[
+                    "RC WRITE",
+                    "no WQE batching",
+                    "messages <= 1KB",
+                    "work queue <= 16",
+                    ">= ~480 QPs",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Write;
@@ -137,9 +202,19 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 16;
                     p.mtu = 1024;
                     p.messages = vec![512];
-                }),
-            anomaly(8, true, SubsystemId::F, Symptom::LowThroughput,
-                &["RC WRITE", "no WQE batching", "messages <= 1KB", ">= ~12K MRs"],
+                },
+            ),
+            anomaly(
+                8,
+                true,
+                SubsystemId::F,
+                Symptom::LowThroughput,
+                &[
+                    "RC WRITE",
+                    "no WQE batching",
+                    "messages <= 1KB",
+                    ">= ~12K MRs",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Write;
@@ -150,9 +225,19 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 128;
                     p.mtu = 1024;
                     p.messages = vec![512];
-                }),
-            anomaly(9, false, SubsystemId::F, Symptom::PauseStorm,
-                &["bidirectional", "SG list >= 3", "mix of <=1KB and >=64KB messages", "strict-ordering PCIe host"],
+                },
+            ),
+            anomaly(
+                9,
+                false,
+                SubsystemId::F,
+                Symptom::PauseStorm,
+                &[
+                    "bidirectional",
+                    "SG list >= 3",
+                    "mix of <=1KB and >=64KB messages",
+                    "strict-ordering PCIe host",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Write;
@@ -165,9 +250,19 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 128;
                     p.mtu = 4096;
                     p.messages = vec![128, 64 * 1024, 1024];
-                }),
-            anomaly(10, true, SubsystemId::F, Symptom::PauseStorm,
-                &["bidirectional RC WRITE", "WQE batch >= 64", "mix of <=1KB and >=64KB messages", ">= ~320 QPs"],
+                },
+            ),
+            anomaly(
+                10,
+                true,
+                SubsystemId::F,
+                Symptom::PauseStorm,
+                &[
+                    "bidirectional RC WRITE",
+                    "WQE batch >= 64",
+                    "mix of <=1KB and >=64KB messages",
+                    ">= ~320 QPs",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Write;
@@ -178,9 +273,18 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 128;
                     p.mtu = 1024;
                     p.messages = vec![64 * 1024, 128, 128, 128];
-                }),
-            anomaly(11, true, SubsystemId::F, Symptom::PauseStorm,
-                &["bidirectional", "cross-socket source/destination memory", "chiplet-based server"],
+                },
+            ),
+            anomaly(
+                11,
+                true,
+                SubsystemId::F,
+                Symptom::PauseStorm,
+                &[
+                    "bidirectional",
+                    "cross-socket source/destination memory",
+                    "chiplet-based server",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Write;
@@ -194,9 +298,17 @@ impl KnownAnomaly {
                     p.mtu = 4096;
                     p.messages = vec![256 * 1024];
                     p.dst_memory = MemoryTarget::HostDram { numa_node: 1 };
-                }),
-            anomaly(12, false, SubsystemId::F, Symptom::PauseStorm,
-                &["GPU-Direct RDMA", "peer-to-peer path detoured through the root complex"],
+                },
+            ),
+            anomaly(
+                12,
+                false,
+                SubsystemId::F,
+                Symptom::PauseStorm,
+                &[
+                    "GPU-Direct RDMA",
+                    "peer-to-peer path detoured through the root complex",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Write;
@@ -211,8 +323,13 @@ impl KnownAnomaly {
                     p.messages = vec![128, 64 * 1024, 1024];
                     p.src_memory = MemoryTarget::GpuMemory { gpu_id: 0 };
                     p.dst_memory = MemoryTarget::GpuMemory { gpu_id: 0 };
-                }),
-            anomaly(13, false, SubsystemId::F, Symptom::PauseStorm,
+                },
+            ),
+            anomaly(
+                13,
+                false,
+                SubsystemId::F,
+                Symptom::PauseStorm,
                 &["loopback traffic co-existing with receive traffic"],
                 |p| {
                     p.transport = Transport::Rc;
@@ -226,10 +343,20 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 128;
                     p.mtu = 4096;
                     p.messages = vec![256 * 1024];
-                }),
+                },
+            ),
             // ---- Subsystem H (Broadcom P2100G) -------------------------
-            anomaly(14, true, SubsystemId::H, Symptom::LowThroughput,
-                &["bidirectional RC", "MTU = 4096", "SG list >= 4", ">= ~1300 QPs"],
+            anomaly(
+                14,
+                true,
+                SubsystemId::H,
+                Symptom::LowThroughput,
+                &[
+                    "bidirectional RC",
+                    "MTU = 4096",
+                    "SG list >= 4",
+                    ">= ~1300 QPs",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Write;
@@ -243,8 +370,13 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 128;
                     p.mtu = 4096;
                     p.messages = vec![64 * 1024];
-                }),
-            anomaly(15, true, SubsystemId::H, Symptom::PauseStorm,
+                },
+            ),
+            anomaly(
+                15,
+                true,
+                SubsystemId::H,
+                Symptom::PauseStorm,
                 &["UD SEND", "work queue >= 64", ">= ~32 QPs"],
                 |p| {
                     p.transport = Transport::Ud;
@@ -256,8 +388,13 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 64;
                     p.mtu = 2048;
                     p.messages = vec![256, 1024, 64, 1024];
-                }),
-            anomaly(16, true, SubsystemId::H, Symptom::PauseStorm,
+                },
+            ),
+            anomaly(
+                16,
+                true,
+                SubsystemId::H,
+                Symptom::PauseStorm,
                 &["RC READ", "MTU <= 1024", "WQE batch >= 8", ">= ~500 QPs"],
                 |p| {
                     p.transport = Transport::Rc;
@@ -269,9 +406,20 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 128;
                     p.mtu = 1024;
                     p.messages = vec![64 * 1024];
-                }),
-            anomaly(17, true, SubsystemId::H, Symptom::PauseStorm,
-                &["RC SEND", "WQE batch <= 16", "work queue >= 128", "messages <= 1KB", ">= ~64 QPs"],
+                },
+            ),
+            anomaly(
+                17,
+                true,
+                SubsystemId::H,
+                Symptom::PauseStorm,
+                &[
+                    "RC SEND",
+                    "WQE batch <= 16",
+                    "work queue >= 128",
+                    "messages <= 1KB",
+                    ">= ~64 QPs",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Send;
@@ -282,9 +430,20 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 128;
                     p.mtu = 1024;
                     p.messages = vec![1024];
-                }),
-            anomaly(18, true, SubsystemId::H, Symptom::PauseStorm,
-                &["bidirectional RC WRITE", "MTU <= 1024", "WQE batch >= 16", "messages <= 64KB", ">= ~30 QPs"],
+                },
+            ),
+            anomaly(
+                18,
+                true,
+                SubsystemId::H,
+                Symptom::PauseStorm,
+                &[
+                    "bidirectional RC WRITE",
+                    "MTU <= 1024",
+                    "WQE batch >= 16",
+                    "messages <= 64KB",
+                    ">= ~30 QPs",
+                ],
                 |p| {
                     p.transport = Transport::Rc;
                     p.opcode = Opcode::Write;
@@ -296,7 +455,8 @@ impl KnownAnomaly {
                     p.recv_queue_depth = 64;
                     p.mtu = 1024;
                     p.messages = vec![64 * 1024];
-                }),
+                },
+            ),
         ]
     }
 

@@ -29,8 +29,7 @@ use collie_rnic::workload::{Direction, FlowSpec, MessagePattern, WorkloadSpec};
 use collie_sim::time::SimDuration;
 use collie_sim::units::ByteSize;
 use collie_verbs::{
-    AccessFlags, CompletionQueue, Fabric, Mtu, QpCaps, QueuePair, SendWr, Sge, VerbsError,
-    WrOpcode,
+    AccessFlags, CompletionQueue, Fabric, Mtu, QpCaps, QueuePair, SendWr, Sge, VerbsError, WrOpcode,
 };
 
 /// Sets up and runs experiments on one subsystem.
@@ -186,7 +185,11 @@ impl WorkloadEngine {
             max_send_sge: 16,
             max_recv_sge: 16,
         };
-        let mr_size = ByteSize::from_bytes(point.mr_size_bytes.max(point.messages.iter().copied().max().unwrap_or(1)));
+        let mr_size = ByteSize::from_bytes(
+            point
+                .mr_size_bytes
+                .max(point.messages.iter().copied().max().unwrap_or(1)),
+        );
 
         for &(sender_host, receiver_host) in &setups {
             for _ in 0..point.num_qps {

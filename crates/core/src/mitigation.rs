@@ -379,9 +379,7 @@ mod tests {
 
     #[test]
     fn mitigations_do_not_hurt_benign_workloads() {
-        let mut engine = WorkloadEngine::for_catalog(
-            collie_rnic::subsystems::SubsystemId::F,
-        );
+        let mut engine = WorkloadEngine::for_catalog(collie_rnic::subsystems::SubsystemId::F);
         for m in Mitigation::ALL {
             m.apply_to_subsystem(engine.subsystem_mut());
         }
@@ -419,7 +417,10 @@ mod tests {
             Mitigation::VendorRegisterFix.kind(),
             MitigationKind::SubsystemConfiguration
         );
-        assert_eq!(Mitigation::NicPerSocket.kind(), MitigationKind::HardwareChange);
+        assert_eq!(
+            Mitigation::NicPerSocket.kind(),
+            MitigationKind::HardwareChange
+        );
         assert_eq!(
             Mitigation::AvoidLoopbackViaIpc.kind(),
             MitigationKind::WorkloadChange

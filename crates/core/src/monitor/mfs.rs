@@ -117,7 +117,9 @@ fn dominant_diag_counter(measurement: &collie_rnic::subsystem::Measurement) -> O
     measurement
         .counters
         .iter()
-        .filter(|(_, kind, value)| *kind == collie_sim::counters::CounterKind::Diagnostic && *value > 0.0)
+        .filter(|(_, kind, value)| {
+            *kind == collie_sim::counters::CounterKind::Diagnostic && *value > 0.0
+        })
         .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
         .map(|(name, _, _)| name.to_string())
 }

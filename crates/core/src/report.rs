@@ -102,7 +102,11 @@ impl TraceSeries {
 
 /// Aggregate a set of per-seed outcomes into Figure-4/5 rows for one
 /// strategy.
-pub fn time_to_find_rows(label: &str, outcomes: &[SearchOutcome], max_anomalies: usize) -> Vec<TimeToFindRow> {
+pub fn time_to_find_rows(
+    label: &str,
+    outcomes: &[SearchOutcome],
+    max_anomalies: usize,
+) -> Vec<TimeToFindRow> {
     let mut rows = Vec::new();
     for n in 0..=max_anomalies {
         if n == 0 {

@@ -150,7 +150,11 @@ fn best_of(history: &[(Vec<f64>, SearchPoint, f64)], maximize: bool) -> Option<&
 
 /// Distance-weighted k-nearest-neighbour prediction plus the distance to
 /// the closest observation (used as the exploration term).
-fn predict(history: &[(Vec<f64>, SearchPoint, f64)], features: &[f64], maximize: bool) -> (f64, f64) {
+fn predict(
+    history: &[(Vec<f64>, SearchPoint, f64)],
+    features: &[f64],
+    maximize: bool,
+) -> (f64, f64) {
     if history.is_empty() {
         return (if maximize { 0.0 } else { f64::MAX / 1e6 }, 1.0);
     }
@@ -243,10 +247,7 @@ mod tests {
         let a = SearchPoint::benign();
         let mut b = SearchPoint::benign();
         b.num_qps = 2048;
-        let history = vec![
-            (encode(&a), a.clone(), 10.0),
-            (encode(&b), b.clone(), 30.0),
-        ];
+        let history = vec![(encode(&a), a.clone(), 10.0), (encode(&b), b.clone(), 30.0)];
         let (near_a, _) = predict(&history, &encode(&a), true);
         assert!((near_a - 10.0).abs() < 5.0);
         assert_eq!(best_of(&history, true).unwrap(), &b);

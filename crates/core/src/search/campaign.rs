@@ -211,7 +211,9 @@ impl<'a> Campaign<'a> {
         self.elapsed += WorkloadEngine::experiment_cost(point);
         self.experiments += 1;
         let measurement = self.engine.measure(point);
-        let verdict = self.monitor.assess(&measurement, &self.engine.subsystem().rnic);
+        let verdict = self
+            .monitor
+            .assess(&measurement, &self.engine.subsystem().rnic);
 
         let trace_value = measurement
             .counters
@@ -393,7 +395,10 @@ mod tests {
         let d = &outcome.discoveries[0];
         assert!(d.matched_rules.contains(&"collie/1".to_string()));
         assert!(d.mfs.matches(&point));
-        assert!(outcome.experiments > 1, "MFS extraction charges experiments");
+        assert!(
+            outcome.experiments > 1,
+            "MFS extraction charges experiments"
+        );
         assert!(!outcome.trace.anomaly_samples().is_empty());
     }
 
@@ -483,7 +488,9 @@ mod tests {
         // Milestones are cumulative and time-ordered.
         let milestones = outcome.milestones();
         assert!(milestones.len() >= 2);
-        assert!(milestones.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!(milestones
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
         assert!(outcome.time_to_find(1).unwrap() <= outcome.time_to_find(2).unwrap());
     }
 }

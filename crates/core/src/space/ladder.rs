@@ -33,7 +33,9 @@ pub struct Ladders {
 impl Default for Ladders {
     fn default() -> Self {
         Ladders {
-            num_qps: vec![1, 2, 4, 8, 16, 32, 64, 80, 128, 160, 256, 320, 480, 512, 640, 1024, 1536, 2048],
+            num_qps: vec![
+                1, 2, 4, 8, 16, 32, 64, 80, 128, 160, 256, 320, 480, 512, 640, 1024, 1536, 2048,
+            ],
             wqe_batch: vec![1, 2, 4, 8, 16, 32, 64, 128],
             sge_per_wqe: vec![1, 2, 3, 4, 8, 16],
             queue_depths: vec![16, 32, 64, 128, 256, 512, 1024, 2048],
@@ -48,8 +50,19 @@ impl Default for Ladders {
                 4 * 1024 * 1024,
             ],
             message_sizes: vec![
-                64, 128, 256, 512, 1024, 2048, 4096, 8192, 16 * 1024, 64 * 1024, 256 * 1024,
-                1024 * 1024, 4 * 1024 * 1024,
+                64,
+                128,
+                256,
+                512,
+                1024,
+                2048,
+                4096,
+                8192,
+                16 * 1024,
+                64 * 1024,
+                256 * 1024,
+                1024 * 1024,
+                4 * 1024 * 1024,
             ],
         }
     }
@@ -101,8 +114,18 @@ mod tests {
     #[test]
     fn ladders_are_sorted_and_bounded() {
         let l = Ladders::default();
-        for ladder in [&l.num_qps, &l.wqe_batch, &l.sge_per_wqe, &l.queue_depths, &l.mtus, &l.mrs_per_qp] {
-            assert!(ladder.windows(2).all(|w| w[0] < w[1]), "{ladder:?} not ascending");
+        for ladder in [
+            &l.num_qps,
+            &l.wqe_batch,
+            &l.sge_per_wqe,
+            &l.queue_depths,
+            &l.mtus,
+            &l.mrs_per_qp,
+        ] {
+            assert!(
+                ladder.windows(2).all(|w| w[0] < w[1]),
+                "{ladder:?} not ascending"
+            );
         }
         assert!(l.num_qps.iter().all(|&q| q <= 20_000));
         assert!(l

@@ -290,13 +290,25 @@ impl SearchSpace {
         // full `PU × pipeline stages` window of the fastest parts would
         // inflate the bound far beyond the paper's own estimate.)
         let pattern = 16f64.powi(8);
-        memory * memory * transports * qps * mrs * mr_sizes * batches * sges * depths * depths
+        memory
+            * memory
+            * transports
+            * qps
+            * mrs
+            * mr_sizes
+            * batches
+            * sges
+            * depths
+            * depths
             * mtus
             * pattern
     }
 }
 
-fn ladder_alternatives<T: Copy + PartialEq + Into<u64>>(ladder: &[T], current: T) -> Vec<FeatureValue> {
+fn ladder_alternatives<T: Copy + PartialEq + Into<u64>>(
+    ladder: &[T],
+    current: T,
+) -> Vec<FeatureValue> {
     ladder
         .iter()
         .filter(|v| **v != current)

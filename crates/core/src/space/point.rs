@@ -112,12 +112,8 @@ impl SearchPoint {
             (Feature::NumQps, FeatureValue::Number(n)) => self.num_qps = *n as u32,
             (Feature::WqeBatch, FeatureValue::Number(n)) => self.wqe_batch = *n as u32,
             (Feature::SgePerWqe, FeatureValue::Number(n)) => self.sge_per_wqe = *n as u32,
-            (Feature::SendQueueDepth, FeatureValue::Number(n)) => {
-                self.send_queue_depth = *n as u32
-            }
-            (Feature::RecvQueueDepth, FeatureValue::Number(n)) => {
-                self.recv_queue_depth = *n as u32
-            }
+            (Feature::SendQueueDepth, FeatureValue::Number(n)) => self.send_queue_depth = *n as u32,
+            (Feature::RecvQueueDepth, FeatureValue::Number(n)) => self.recv_queue_depth = *n as u32,
             (Feature::Mtu, FeatureValue::Number(n)) => self.mtu = *n as u32,
             (Feature::MessagePattern, FeatureValue::Pattern(sizes)) => {
                 self.messages = sizes.clone();
@@ -176,8 +172,16 @@ impl fmt::Display for SearchPoint {
             self.mrs_per_qp,
             self.mr_size_bytes,
             self.messages,
-            if self.bidirectional { ", bidirectional" } else { "" },
-            if self.with_loopback { ", +loopback" } else { "" },
+            if self.bidirectional {
+                ", bidirectional"
+            } else {
+                ""
+            },
+            if self.with_loopback {
+                ", +loopback"
+            } else {
+                ""
+            },
             if self.src_memory.is_gpu() || self.dst_memory.is_gpu() {
                 ", gpu-direct"
             } else {

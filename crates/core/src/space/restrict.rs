@@ -74,8 +74,7 @@ impl SpaceRestriction {
                 .map_or(true, |m| point.recv_queue_depth <= m)
             && (self.allow_bidirectional || !point.bidirectional)
             && (self.allow_loopback || !point.with_loopback)
-            && (self.allow_gpu_memory
-                || (!point.src_memory.is_gpu() && !point.dst_memory.is_gpu()))
+            && (self.allow_gpu_memory || (!point.src_memory.is_gpu() && !point.dst_memory.is_gpu()))
     }
 
     /// Pull a point back inside the envelope (used after random sampling or

@@ -113,7 +113,10 @@ mod tests {
     fn disabled_ddio_never_hits() {
         let d = DdioModel::disabled();
         assert_eq!(d.hit_fraction(ByteSize::from_bytes(64)), 0.0);
-        assert_eq!(d.average_penalty_ns(ByteSize::from_bytes(64)), d.miss_penalty_ns as f64);
+        assert_eq!(
+            d.average_penalty_ns(ByteSize::from_bytes(64)),
+            d.miss_penalty_ns as f64
+        );
     }
 
     #[test]

@@ -105,12 +105,18 @@ mod tests {
 
     #[test]
     fn local_dram_is_numa_zero() {
-        assert_eq!(MemoryTarget::local_dram(), MemoryTarget::HostDram { numa_node: 0 });
+        assert_eq!(
+            MemoryTarget::local_dram(),
+            MemoryTarget::HostDram { numa_node: 0 }
+        );
     }
 
     #[test]
     fn display_forms() {
-        assert_eq!(MemoryTarget::HostDram { numa_node: 1 }.to_string(), "dram(numa1)");
+        assert_eq!(
+            MemoryTarget::HostDram { numa_node: 1 }.to_string(),
+            "dram(numa1)"
+        );
         assert_eq!(MemoryTarget::GpuMemory { gpu_id: 3 }.to_string(), "gpu3");
     }
 

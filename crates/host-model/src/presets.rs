@@ -131,12 +131,21 @@ mod tests {
     fn gpu_hosts_have_a_nic_local_gpu() {
         let h = intel_xeon_gpu_host("c", ByteSize::from_gib(384), false);
         assert!(h.has_gpus());
-        let p = h.dma_path(MemoryTarget::GpuMemory { gpu_id: 0 }, DmaDirection::FromMemory);
+        let p = h.dma_path(
+            MemoryTarget::GpuMemory { gpu_id: 0 },
+            DmaDirection::FromMemory,
+        );
         assert!(!p.via_root_complex);
         let amd = amd_epyc_gpu_host("e", ByteSize::from_gib(2048));
         assert!(amd.gpus.len() == 8);
-        assert!(amd.gpus.iter().any(|g| g.placement == GpuPlacement::SameSwitchAsRnic));
-        assert!(amd.gpus.iter().any(|g| g.placement == GpuPlacement::RemoteSocket));
+        assert!(amd
+            .gpus
+            .iter()
+            .any(|g| g.placement == GpuPlacement::SameSwitchAsRnic));
+        assert!(amd
+            .gpus
+            .iter()
+            .any(|g| g.placement == GpuPlacement::RemoteSocket));
     }
 
     #[test]

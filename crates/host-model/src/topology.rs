@@ -87,7 +87,11 @@ impl HostConfig {
         let mut targets: Vec<MemoryTarget> = (0..self.cpu.numa_nodes())
             .map(|n| MemoryTarget::HostDram { numa_node: n })
             .collect();
-        targets.extend(self.gpus.iter().map(|g| MemoryTarget::GpuMemory { gpu_id: g.id }));
+        targets.extend(
+            self.gpus
+                .iter()
+                .map(|g| MemoryTarget::GpuMemory { gpu_id: g.id }),
+        );
         targets
     }
 
@@ -132,8 +136,8 @@ impl HostConfig {
                     .gpu(gpu_id)
                     .map(|g| g.socket)
                     .unwrap_or_else(|| self.rnic_socket.saturating_add(1));
-                let crosses = gpu_socket != self.rnic_socket
-                    || placement == GpuPlacement::RemoteSocket;
+                let crosses =
+                    gpu_socket != self.rnic_socket || placement == GpuPlacement::RemoteSocket;
                 let via_root_complex = self.pcie_settings.acs_redirect_p2p
                     || placement != GpuPlacement::SameSwitchAsRnic;
 
@@ -199,8 +203,14 @@ mod tests {
     #[test]
     fn remote_socket_dram_pays_latency_and_bandwidth() {
         let host = intel_host();
-        let local = host.dma_path(MemoryTarget::HostDram { numa_node: 0 }, DmaDirection::ToMemory);
-        let remote = host.dma_path(MemoryTarget::HostDram { numa_node: 1 }, DmaDirection::ToMemory);
+        let local = host.dma_path(
+            MemoryTarget::HostDram { numa_node: 0 },
+            DmaDirection::ToMemory,
+        );
+        let remote = host.dma_path(
+            MemoryTarget::HostDram { numa_node: 1 },
+            DmaDirection::ToMemory,
+        );
         assert!(remote.crosses_socket);
         assert!(remote.total_latency_ns() > local.total_latency_ns());
         assert!(remote.bandwidth_ceiling.gbps() < local.bandwidth_ceiling.gbps());
@@ -210,10 +220,14 @@ mod tests {
     fn amd_cross_socket_is_much_worse_than_intel() {
         let amd = amd_gpu_host();
         let intel = intel_host();
-        let amd_remote =
-            amd.dma_path(MemoryTarget::HostDram { numa_node: 1 }, DmaDirection::ToMemory);
-        let intel_remote =
-            intel.dma_path(MemoryTarget::HostDram { numa_node: 1 }, DmaDirection::ToMemory);
+        let amd_remote = amd.dma_path(
+            MemoryTarget::HostDram { numa_node: 1 },
+            DmaDirection::ToMemory,
+        );
+        let intel_remote = intel.dma_path(
+            MemoryTarget::HostDram { numa_node: 1 },
+            DmaDirection::ToMemory,
+        );
         assert!(amd_remote.bandwidth_ceiling.gbps() < intel_remote.bandwidth_ceiling.gbps());
         // The anomalous AMD platform cannot sustain 200 Gbps across sockets.
         assert!(amd_remote.bandwidth_ceiling.gbps() < 200.0);
@@ -222,11 +236,20 @@ mod tests {
     #[test]
     fn gpu_same_switch_is_fast_unless_acs_misconfigured() {
         let mut host = amd_gpu_host();
-        let good = host.dma_path(MemoryTarget::GpuMemory { gpu_id: 0 }, DmaDirection::FromMemory);
-        assert!(!good.via_root_complex, "same-switch GPU should switch P2P locally");
+        let good = host.dma_path(
+            MemoryTarget::GpuMemory { gpu_id: 0 },
+            DmaDirection::FromMemory,
+        );
+        assert!(
+            !good.via_root_complex,
+            "same-switch GPU should switch P2P locally"
+        );
 
         host.pcie_settings.acs_redirect_p2p = true;
-        let bad = host.dma_path(MemoryTarget::GpuMemory { gpu_id: 0 }, DmaDirection::FromMemory);
+        let bad = host.dma_path(
+            MemoryTarget::GpuMemory { gpu_id: 0 },
+            DmaDirection::FromMemory,
+        );
         assert!(bad.via_root_complex);
         assert!(bad.bandwidth_ceiling.gbps() < good.bandwidth_ceiling.gbps());
         assert!(bad.total_latency_ns() > good.total_latency_ns());
@@ -235,7 +258,10 @@ mod tests {
     #[test]
     fn unknown_gpu_resolves_pessimistically() {
         let host = intel_host(); // no GPUs installed
-        let p = host.dma_path(MemoryTarget::GpuMemory { gpu_id: 42 }, DmaDirection::ToMemory);
+        let p = host.dma_path(
+            MemoryTarget::GpuMemory { gpu_id: 42 },
+            DmaDirection::ToMemory,
+        );
         assert!(p.is_gpu);
         assert!(p.crosses_socket);
         assert!(p.via_root_complex);

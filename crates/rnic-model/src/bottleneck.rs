@@ -9,7 +9,7 @@
 //! subsystem over the edge, which diagnostic counter rises on the way
 //! there, and what the end-to-end symptom is.
 //!
-//! Each [`StressRule`] here encodes one such surface as a set of graded
+//! Each rule in [`evaluate_rules`] encodes one such surface as a set of graded
 //! condition factors. A factor is ~0 when the feature is far from its
 //! trigger threshold and reaches 1.0 at the threshold; the rule's *stress*
 //! is the weakest factor (every necessary condition must hold). Stress below
@@ -24,8 +24,8 @@
 //! in Appendix A. They are calibration constants of the simulator, not
 //! vendor data.
 
-use crate::spec::{RnicSpec, RnicVendor};
 use crate::counters::diag;
+use crate::spec::{RnicSpec, RnicVendor};
 use crate::workload::{Direction, FlowSpec, Opcode, Transport, WorkloadSpec};
 use collie_host::topology::{DmaDirection, HostConfig};
 use serde::{Deserialize, Serialize};
@@ -352,8 +352,10 @@ fn host_topology_rules(ctx: &FlowContext<'_>, out: &mut Vec<StressReport>) {
         counter: diag::PCIE_BACKPRESSURE,
         stress: stress_of(&[
             gate(f.src_memory.is_gpu() || f.dst_memory.is_gpu()),
-            gate((f.src_memory.is_gpu() && src_path.via_root_complex)
-                || (f.dst_memory.is_gpu() && dst_path.via_root_complex)),
+            gate(
+                (f.src_memory.is_gpu() && src_path.via_root_complex)
+                    || (f.dst_memory.is_gpu() && dst_path.via_root_complex),
+            ),
         ]),
         effect: Effect::ReceiverPause { severity: 0.15 },
     });
@@ -663,10 +665,7 @@ mod tests {
         };
         let bc_rules = triggered_rules(&evaluate_rules(&ctx_bc));
         assert!(bc_rules.contains(&"collie/15"));
-        let mlx_rules: Vec<_> = evaluate_rules(&ctx_mlx)
-            .iter()
-            .map(|r| r.rule)
-            .collect();
+        let mlx_rules: Vec<_> = evaluate_rules(&ctx_mlx).iter().map(|r| r.rule).collect();
         assert!(!mlx_rules.contains(&"collie/15"));
     }
 

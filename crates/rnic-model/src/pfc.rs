@@ -77,11 +77,8 @@ mod tests {
 
     #[test]
     fn no_pause_when_drain_keeps_up() {
-        let p = PauseAccount::from_rates(
-            BitRate::from_gbps(100.0),
-            BitRate::from_gbps(100.0),
-            0.02,
-        );
+        let p =
+            PauseAccount::from_rates(BitRate::from_gbps(100.0), BitRate::from_gbps(100.0), 0.02);
         assert_eq!(p.pause_ratio, 0.0);
         let p = PauseAccount::from_rates(BitRate::from_gbps(50.0), BitRate::from_gbps(100.0), 0.02);
         assert_eq!(p.pause_ratio, 0.0);
@@ -89,27 +86,15 @@ mod tests {
 
     #[test]
     fn pause_matches_deficit() {
-        let p = PauseAccount::from_rates(
-            BitRate::from_gbps(200.0),
-            BitRate::from_gbps(100.0),
-            0.0,
-        );
+        let p = PauseAccount::from_rates(BitRate::from_gbps(200.0), BitRate::from_gbps(100.0), 0.0);
         assert!((p.pause_ratio - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn grace_absorbs_small_deficits() {
-        let p = PauseAccount::from_rates(
-            BitRate::from_gbps(100.0),
-            BitRate::from_gbps(99.0),
-            0.02,
-        );
+        let p = PauseAccount::from_rates(BitRate::from_gbps(100.0), BitRate::from_gbps(99.0), 0.02);
         assert_eq!(p.pause_ratio, 0.0);
-        let p = PauseAccount::from_rates(
-            BitRate::from_gbps(100.0),
-            BitRate::from_gbps(90.0),
-            0.02,
-        );
+        let p = PauseAccount::from_rates(BitRate::from_gbps(100.0), BitRate::from_gbps(90.0), 0.02);
         assert!((p.pause_ratio - 0.08).abs() < 1e-9);
     }
 

@@ -116,7 +116,12 @@ struct DirectionOutcome {
 
 impl Subsystem {
     /// Assemble a subsystem from its parts.
-    pub fn new(name: impl Into<String>, rnic: RnicSpec, host_a: HostConfig, host_b: HostConfig) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        rnic: RnicSpec,
+        host_a: HostConfig,
+        host_b: HostConfig,
+    ) -> Self {
         let registry = CounterRegistry::new();
         let counters = RnicCounters::register(&registry);
         let switch = LosslessSwitch::new(rnic.line_rate);
@@ -201,9 +206,10 @@ impl Subsystem {
         for host_idx in 0..2 {
             let host = self.host(host_idx);
             let mean_payload = mean_payload_bytes(workload);
-            let capacity = host
-                .pcie_link
-                .effective_bandwidth(ByteSize::from_bytes(mean_payload as u64), &host.pcie_settings);
+            let capacity = host.pcie_link.effective_bandwidth(
+                ByteSize::from_bytes(mean_payload as u64),
+                &host.pcie_settings,
+            );
 
             let tx_demand: f64 = outcomes
                 .iter()
@@ -228,10 +234,8 @@ impl Subsystem {
             if rx_demand > capacity.bits_per_sec() {
                 let scale = capacity.bits_per_sec() / rx_demand;
                 let backpressure = 1.0 - scale;
-                self.counters.add_diag(
-                    diag::PCIE_BACKPRESSURE,
-                    backpressure * DIAG_SCALE,
-                );
+                self.counters
+                    .add_diag(diag::PCIE_BACKPRESSURE, backpressure * DIAG_SCALE);
                 for o in outcomes
                     .iter_mut()
                     .filter(|o| o.direction.receiver_host() == host_idx)
@@ -274,8 +278,10 @@ impl Subsystem {
         }
         let total_bps: f64 = metrics.iter().map(|m| m.throughput.bits_per_sec()).sum();
         let total_pps: f64 = metrics.iter().map(|m| m.packet_rate.pps()).sum();
-        self.counters.set_perf(perf::TX_BYTES_PER_SEC, total_bps / 8.0);
-        self.counters.set_perf(perf::RX_BYTES_PER_SEC, total_bps / 8.0);
+        self.counters
+            .set_perf(perf::TX_BYTES_PER_SEC, total_bps / 8.0);
+        self.counters
+            .set_perf(perf::RX_BYTES_PER_SEC, total_bps / 8.0);
         self.counters.set_perf(perf::TX_PACKETS_PER_SEC, total_pps);
         self.counters.set_perf(perf::RX_PACKETS_PER_SEC, total_pps);
 
@@ -304,7 +310,10 @@ impl Subsystem {
         let weight = |f: &FlowSpec| f.num_qps as f64 / total_qps.max(1.0);
 
         // Weighted traffic shape.
-        let mean_msg: f64 = flows.iter().map(|f| weight(f) * f.mean_message_bytes()).sum();
+        let mean_msg: f64 = flows
+            .iter()
+            .map(|f| weight(f) * f.mean_message_bytes())
+            .sum();
         let mean_pkts_per_msg: f64 = flows
             .iter()
             .map(|f| weight(f) * f.mean_packets_per_message())
@@ -330,9 +339,10 @@ impl Subsystem {
         for f in flows {
             let path = sender_host.dma_path(f.src_memory, DmaDirection::FromMemory);
             let chunk = f.mean_message_bytes().min(f.mtu as f64).max(1.0);
-            let link = sender_host
-                .pcie_link
-                .effective_bandwidth(ByteSize::from_bytes(chunk as u64), &sender_host.pcie_settings);
+            let link = sender_host.pcie_link.effective_bandwidth(
+                ByteSize::from_bytes(chunk as u64),
+                &sender_host.pcie_settings,
+            );
             sender_dma_bps += weight(f) * link.min(path.bandwidth_ceiling).bits_per_sec();
         }
 
@@ -342,9 +352,10 @@ impl Subsystem {
         for f in flows {
             let path = receiver_host.dma_path(f.dst_memory, DmaDirection::ToMemory);
             let chunk = f.mean_message_bytes().min(f.mtu as f64).max(1.0);
-            let link = receiver_host
-                .pcie_link
-                .effective_bandwidth(ByteSize::from_bytes(chunk as u64), &receiver_host.pcie_settings);
+            let link = receiver_host.pcie_link.effective_bandwidth(
+                ByteSize::from_bytes(chunk as u64),
+                &receiver_host.pcie_settings,
+            );
             receiver_dma_bps += weight(f) * link.min(path.bandwidth_ceiling).bits_per_sec();
         }
 
@@ -389,11 +400,13 @@ impl Subsystem {
 
         // Connection-context pressure.
         let qpc = miss_rate(workload.total_qps() as f64, spec.qpc_cache_entries as f64);
-        self.counters.add_diag(diag::QP_CONTEXT_CACHE_MISS, qpc * DIAG_SCALE * 0.5);
+        self.counters
+            .add_diag(diag::QP_CONTEXT_CACHE_MISS, qpc * DIAG_SCALE * 0.5);
 
         // Translation-table pressure.
         let mtt = miss_rate(workload.total_mrs() as f64, spec.mtt_cache_entries as f64);
-        self.counters.add_diag(diag::MTT_CACHE_MISS, mtt * DIAG_SCALE * 0.5);
+        self.counters
+            .add_diag(diag::MTT_CACHE_MISS, mtt * DIAG_SCALE * 0.5);
 
         // Receive-descriptor pressure from two-sided flows.
         let recv_ws: f64 = workload
@@ -403,7 +416,8 @@ impl Subsystem {
             .map(|f| f.num_qps as f64 * f.recv_queue_depth as f64)
             .sum();
         let rwqe = miss_rate(recv_ws, spec.recv_wqe_cache_entries as f64);
-        self.counters.add_diag(diag::RECV_WQE_CACHE_MISS, rwqe * DIAG_SCALE * 0.5);
+        self.counters
+            .add_diag(diag::RECV_WQE_CACHE_MISS, rwqe * DIAG_SCALE * 0.5);
 
         // Packet-processing utilisation.
         let total_pps: f64 = metrics.iter().map(|m| m.packet_rate.pps()).sum();
@@ -439,9 +453,7 @@ fn mean_payload_bytes(workload: &WorkloadSpec) -> f64 {
     workload
         .flows
         .iter()
-        .map(|f| {
-            f.num_qps as f64 / total_qps * f.mean_message_bytes().min(f.mtu as f64).max(1.0)
-        })
+        .map(|f| f.num_qps as f64 / total_qps * f.mean_message_bytes().min(f.mtu as f64).max(1.0))
         .sum()
 }
 
@@ -493,7 +505,11 @@ mod tests {
         let m = sys.evaluate(&w);
         for d in [Direction::AToB, Direction::BToA] {
             let dir = m.direction(d).unwrap();
-            assert!(dir.throughput.gbps() > 0.9 * 200.0, "{d}: {}", dir.throughput);
+            assert!(
+                dir.throughput.gbps() > 0.9 * 200.0,
+                "{d}: {}",
+                dir.throughput
+            );
         }
         assert!(m.max_pause_ratio() < 0.001);
     }
@@ -579,7 +595,11 @@ mod tests {
             ],
         };
         let m = sys.evaluate(&w);
-        assert!(m.pause_ratio[0] > 0.01, "host A should pause: {:?}", m.pause_ratio);
+        assert!(
+            m.pause_ratio[0] > 0.01,
+            "host A should pause: {:?}",
+            m.pause_ratio
+        );
         assert!(m.counters.value(diag::INTERNAL_INCAST).unwrap() > 0.0);
     }
 

@@ -82,9 +82,7 @@ impl SubsystemId {
             SubsystemId::D => {
                 presets::intel_xeon_host("subsystem-D", 2, ByteSize::from_gib(768), false)
             }
-            SubsystemId::E => {
-                presets::amd_epyc_gpu_host("subsystem-E", ByteSize::from_gib(2048))
-            }
+            SubsystemId::E => presets::amd_epyc_gpu_host("subsystem-E", ByteSize::from_gib(2048)),
             SubsystemId::F => {
                 let mut host =
                     presets::intel_xeon_gpu_host("subsystem-F", ByteSize::from_gib(2048), true);
@@ -97,9 +95,7 @@ impl SubsystemId {
                 host.pcie_settings.acs_redirect_p2p = true;
                 host
             }
-            SubsystemId::G => {
-                presets::amd_epyc_nps2_host("subsystem-G", ByteSize::from_gib(2048))
-            }
+            SubsystemId::G => presets::amd_epyc_nps2_host("subsystem-G", ByteSize::from_gib(2048)),
             SubsystemId::H => {
                 presets::intel_xeon_host("subsystem-H", 2, ByteSize::from_gib(384), false)
             }
@@ -109,7 +105,12 @@ impl SubsystemId {
     /// Assemble the full two-server subsystem.
     pub fn build(self) -> Subsystem {
         let host = self.host();
-        Subsystem::new(self.to_string(), self.rnic_model().spec(), host.clone(), host)
+        Subsystem::new(
+            self.to_string(),
+            self.rnic_model().spec(),
+            host.clone(),
+            host,
+        )
     }
 
     /// The per-row metadata printed by the `table1` binary.

@@ -164,7 +164,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_millis(1), 1);
         q.schedule(SimTime::from_millis(10), 2);
-        assert_eq!(q.pop_until(SimTime::from_millis(5)), Some((SimTime::from_millis(1), 1)));
+        assert_eq!(
+            q.pop_until(SimTime::from_millis(5)),
+            Some((SimTime::from_millis(1), 1))
+        );
         assert_eq!(q.pop_until(SimTime::from_millis(5)), None);
         assert_eq!(q.len(), 1);
     }

@@ -185,7 +185,11 @@ mod tests {
             SimDuration::from_millis(1),
         );
         // 40 Gbps deficit over 1 ms = 5 MB accumulated.
-        assert!((t.occupancy - 5.0e6).abs() < 5e4, "occupancy {}", t.occupancy);
+        assert!(
+            (t.occupancy - 5.0e6).abs() < 5e4,
+            "occupancy {}",
+            t.occupancy
+        );
         assert_eq!(t.overflowed, 0.0);
     }
 
@@ -206,7 +210,11 @@ mod tests {
     #[test]
     fn reset_clears_state() {
         let mut queue = q(1);
-        queue.tick(BitRate::from_gbps(10.0), BitRate::ZERO, SimDuration::from_millis(1));
+        queue.tick(
+            BitRate::from_gbps(10.0),
+            BitRate::ZERO,
+            SimDuration::from_millis(1),
+        );
         queue.reset();
         assert_eq!(queue.occupancy_bytes(), 0.0);
         assert_eq!(queue.overflow_bytes(), 0.0);
@@ -215,10 +223,18 @@ mod tests {
     #[test]
     fn occupancy_drains_over_time() {
         let mut queue = FluidQueue::new(ByteSize::from_mib(8));
-        queue.tick(BitRate::from_gbps(100.0), BitRate::ZERO, SimDuration::from_millis(1));
+        queue.tick(
+            BitRate::from_gbps(100.0),
+            BitRate::ZERO,
+            SimDuration::from_millis(1),
+        );
         let filled = queue.occupancy_bytes();
         assert!(filled > 0.0);
-        queue.tick(BitRate::ZERO, BitRate::from_gbps(200.0), SimDuration::from_millis(1));
+        queue.tick(
+            BitRate::ZERO,
+            BitRate::from_gbps(200.0),
+            SimDuration::from_millis(1),
+        );
         assert!(queue.occupancy_bytes() < filled);
     }
 

@@ -14,7 +14,9 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A byte count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -335,14 +337,19 @@ mod tests {
         let d = r.time_to_send(ByteSize::from_bytes(1_000_000_000)).unwrap();
         assert!((d.as_secs_f64() - 1.0).abs() < 1e-6);
         assert_eq!(r.time_to_send(ByteSize::ZERO).unwrap(), SimDuration::ZERO);
-        assert!(BitRate::ZERO.time_to_send(ByteSize::from_bytes(1)).is_none());
+        assert!(BitRate::ZERO
+            .time_to_send(ByteSize::from_bytes(1))
+            .is_none());
     }
 
     #[test]
     fn rate_over_duration() {
         let rate = ByteSize::from_bytes(125_000_000).over(SimDuration::from_secs(1));
         assert!((rate.gbps() - 1.0).abs() < 1e-9);
-        assert_eq!(ByteSize::from_bytes(1).over(SimDuration::ZERO), BitRate::ZERO);
+        assert_eq!(
+            ByteSize::from_bytes(1).over(SimDuration::ZERO),
+            BitRate::ZERO
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ mod tests {
             cq.push(wc(i)).unwrap();
         }
         let polled = cq.poll(3);
-        assert_eq!(polled.iter().map(|c| c.wr_id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            polled.iter().map(|c| c.wr_id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(cq.len(), 2);
         let rest = cq.poll(10);
         assert_eq!(rest.len(), 2);

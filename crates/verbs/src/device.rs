@@ -229,7 +229,12 @@ impl ProtectionDomain {
 
     /// Look up a registered MR by local key.
     pub fn lookup(&self, lkey: u32) -> Option<MemoryRegion> {
-        self.inner.lock().mrs.iter().find(|m| m.lkey == lkey).cloned()
+        self.inner
+            .lock()
+            .mrs
+            .iter()
+            .find(|m| m.lkey == lkey)
+            .cloned()
     }
 
     /// Number of registered MRs.
@@ -288,7 +293,11 @@ mod tests {
     fn register_and_lookup_mr() {
         let pd = device().open().alloc_pd();
         let mr = pd
-            .reg_mr(ByteSize::from_kib(64), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_kib(64),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         assert_eq!(pd.mr_count(), 1);
         assert_eq!(pd.lookup(mr.lkey).unwrap(), mr);
@@ -303,10 +312,18 @@ mod tests {
     fn keys_are_unique() {
         let pd = device().open().alloc_pd();
         let a = pd
-            .reg_mr(ByteSize::from_kib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_kib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let b = pd
-            .reg_mr(ByteSize::from_kib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_kib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         assert_ne!(a.lkey, b.lkey);
         assert_ne!(a.rkey, b.rkey);
@@ -316,7 +333,11 @@ mod tests {
     fn zero_length_registration_fails() {
         let pd = device().open().alloc_pd();
         let err = pd
-            .reg_mr(ByteSize::ZERO, MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::ZERO,
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap_err();
         assert!(matches!(err, VerbsError::RegistrationFailed { .. }));
     }
@@ -324,10 +345,18 @@ mod tests {
     #[test]
     fn pinning_is_bounded_by_installed_dram() {
         let pd = device().open().alloc_pd();
-        pd.reg_mr(ByteSize::from_gib(3), MemoryTarget::local_dram(), AccessFlags::FULL)
-            .unwrap();
+        pd.reg_mr(
+            ByteSize::from_gib(3),
+            MemoryTarget::local_dram(),
+            AccessFlags::FULL,
+        )
+        .unwrap();
         let err = pd
-            .reg_mr(ByteSize::from_gib(2), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_gib(2),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap_err();
         assert!(matches!(err, VerbsError::RegistrationFailed { .. }));
     }
@@ -371,10 +400,18 @@ mod tests {
     #[test]
     fn mean_mr_size() {
         let pd = device().open().alloc_pd();
-        pd.reg_mr(ByteSize::from_kib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
-            .unwrap();
-        pd.reg_mr(ByteSize::from_kib(12), MemoryTarget::local_dram(), AccessFlags::FULL)
-            .unwrap();
+        pd.reg_mr(
+            ByteSize::from_kib(4),
+            MemoryTarget::local_dram(),
+            AccessFlags::FULL,
+        )
+        .unwrap();
+        pd.reg_mr(
+            ByteSize::from_kib(12),
+            MemoryTarget::local_dram(),
+            AccessFlags::FULL,
+        )
+        .unwrap();
         assert_eq!(pd.mean_mr_size(), ByteSize::from_kib(8));
         let empty = device().open().alloc_pd();
         assert_eq!(empty.mean_mr_size(), ByteSize::ZERO);

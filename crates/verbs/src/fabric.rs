@@ -67,11 +67,7 @@ impl Fabric {
     pub fn connect(a: &mut QueuePair, b: &mut QueuePair, mtu: Mtu) -> Result<()> {
         if a.transport() != b.transport() {
             return Err(VerbsError::ConnectionFailed {
-                reason: format!(
-                    "transport mismatch: {} vs {}",
-                    a.transport(),
-                    b.transport()
-                ),
+                reason: format!("transport mismatch: {} vs {}", a.transport(), b.transport()),
             });
         }
         a.modify_to_init()?;
@@ -309,11 +305,19 @@ mod tests {
         let server = endpoint(&fabric, 1);
         let mr = client
             .pd
-            .reg_mr(ByteSize::from_mib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         server
             .pd
-            .reg_mr(ByteSize::from_mib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
 
         let mut a = qp(&client, Transport::Rc, QpCaps::default());
@@ -355,11 +359,19 @@ mod tests {
         let server = endpoint(&fabric, 1);
         let mr = client
             .pd
-            .reg_mr(ByteSize::from_mib(16), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(16),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         server
             .pd
-            .reg_mr(ByteSize::from_mib(16), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(16),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
 
         let mut client_qps = Vec::new();
@@ -373,10 +385,8 @@ mod tests {
             client_qps.push(a);
             server_qps.push(b);
         }
-        let mut refs: Vec<&mut QueuePair> = client_qps
-            .iter_mut()
-            .chain(server_qps.iter_mut())
-            .collect();
+        let mut refs: Vec<&mut QueuePair> =
+            client_qps.iter_mut().chain(server_qps.iter_mut()).collect();
         let workload = fabric.derive_workload(&refs);
         assert_eq!(workload.flows.len(), 1);
         let flow = &workload.flows[0];
@@ -395,11 +405,19 @@ mod tests {
         let server = endpoint(&fabric, 1);
         let smr = client
             .pd
-            .reg_mr(ByteSize::from_mib(1), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(1),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let rmr = server
             .pd
-            .reg_mr(ByteSize::from_mib(1), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(1),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
 
         let mut a = qp(&client, Transport::Rc, QpCaps::default());
@@ -440,11 +458,19 @@ mod tests {
         let server = endpoint(&fabric, 1);
         let smr = client
             .pd
-            .reg_mr(ByteSize::from_mib(1), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(1),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         server
             .pd
-            .reg_mr(ByteSize::from_mib(1), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(1),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let mut a = qp(&client, Transport::Rc, QpCaps::default());
         let mut b = qp(&server, Transport::Rc, QpCaps::default());
@@ -472,11 +498,19 @@ mod tests {
         let server = endpoint(&fabric, 0); // same host: collocated
         let mr = worker
             .pd
-            .reg_mr(ByteSize::from_mib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         server
             .pd
-            .reg_mr(ByteSize::from_mib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let mut a = qp(&worker, Transport::Rc, QpCaps::default());
         let mut b = qp(&server, Transport::Rc, QpCaps::default());

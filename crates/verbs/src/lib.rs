@@ -54,4 +54,6 @@ pub use error::{Result, VerbsError};
 pub use fabric::Fabric;
 pub use mr::MemoryRegion;
 pub use qp::{QpAttr, QpCaps, QpState, QueuePair};
-pub use types::{AccessFlags, Mtu, RecvWr, SendWr, Sge, WcOpcode, WcStatus, WorkCompletion, WrOpcode};
+pub use types::{
+    AccessFlags, Mtu, RecvWr, SendWr, Sge, WcOpcode, WcStatus, WorkCompletion, WrOpcode,
+};

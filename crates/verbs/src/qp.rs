@@ -241,12 +241,7 @@ impl QueuePair {
                 state: self.state.name(),
             });
         }
-        if !self
-            .pd
-            .device
-            .spec
-            .supports_mtu(attr.path_mtu.bytes())
-        {
+        if !self.pd.device.spec.supports_mtu(attr.path_mtu.bytes()) {
             return Err(VerbsError::InvalidAttribute {
                 reason: format!("device does not support MTU {}", attr.path_mtu.bytes()),
             });
@@ -498,8 +493,7 @@ mod tests {
     fn state_machine_enforces_order() {
         let pd = pd();
         let cq = CompletionQueue::new(16);
-        let mut qp =
-            QueuePair::create(&pd, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
+        let mut qp = QueuePair::create(&pd, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
         assert_eq!(qp.state(), QpState::Reset);
         // Cannot jump straight to RTS.
         assert!(qp.modify_to_rts().is_err());
@@ -521,11 +515,14 @@ mod tests {
     fn post_send_requires_rts() {
         let pd = pd();
         let mr = pd
-            .reg_mr(ByteSize::from_kib(64), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_kib(64),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let cq = CompletionQueue::new(16);
-        let mut qp =
-            QueuePair::create(&pd, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
+        let mut qp = QueuePair::create(&pd, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
         let err = qp
             .post_send(send_wr(mr.lkey, 4096, WrOpcode::RdmaWrite))
             .unwrap_err();
@@ -536,11 +533,14 @@ mod tests {
     fn post_recv_allowed_from_init() {
         let pd = pd();
         let mr = pd
-            .reg_mr(ByteSize::from_kib(64), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_kib(64),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let cq = CompletionQueue::new(16);
-        let mut qp =
-            QueuePair::create(&pd, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
+        let mut qp = QueuePair::create(&pd, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
         assert!(qp
             .post_recv(RecvWr {
                 wr_id: 1,
@@ -560,21 +560,30 @@ mod tests {
     fn ud_rejects_one_sided_opcodes() {
         let pd = pd();
         let mr = pd
-            .reg_mr(ByteSize::from_kib(64), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_kib(64),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let mut qp = connected_qp(&pd, Transport::Ud);
         let err = qp
             .post_send(send_wr(mr.lkey, 1024, WrOpcode::RdmaWrite))
             .unwrap_err();
         assert!(matches!(err, VerbsError::UnsupportedOpcode { .. }));
-        qp.post_send(send_wr(mr.lkey, 1024, WrOpcode::Send)).unwrap();
+        qp.post_send(send_wr(mr.lkey, 1024, WrOpcode::Send))
+            .unwrap();
     }
 
     #[test]
     fn sge_validation_catches_bad_ranges_and_keys() {
         let pd = pd();
         let mr = pd
-            .reg_mr(ByteSize::from_kib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_kib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let mut qp = connected_qp(&pd, Transport::Rc);
         // Range exceeds the MR.
@@ -593,7 +602,11 @@ mod tests {
     fn send_queue_depth_is_enforced() {
         let pd = pd();
         let mr = pd
-            .reg_mr(ByteSize::from_kib(64), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_kib(64),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let cq = CompletionQueue::new(1024);
         let mut qp = QueuePair::create(
@@ -616,7 +629,8 @@ mod tests {
         .unwrap();
         qp.modify_to_rts().unwrap();
         for _ in 0..4 {
-            qp.post_send(send_wr(mr.lkey, 64, WrOpcode::RdmaWrite)).unwrap();
+            qp.post_send(send_wr(mr.lkey, 64, WrOpcode::RdmaWrite))
+                .unwrap();
         }
         let err = qp
             .post_send(send_wr(mr.lkey, 64, WrOpcode::RdmaWrite))
@@ -628,7 +642,11 @@ mod tests {
     fn sge_count_limit_is_enforced() {
         let pd = pd();
         let mr = pd
-            .reg_mr(ByteSize::from_mib(1), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(1),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let mut qp = connected_qp(&pd, Transport::Rc);
         let wr = SendWr {
@@ -649,7 +667,11 @@ mod tests {
     fn traffic_profile_reflects_posted_work() {
         let pd = pd();
         let mr = pd
-            .reg_mr(ByteSize::from_mib(1), MemoryTarget::local_dram(), AccessFlags::FULL)
+            .reg_mr(
+                ByteSize::from_mib(1),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
             .unwrap();
         let mut qp = connected_qp(&pd, Transport::Rc);
         assert!(qp.traffic_profile().is_none(), "no traffic posted yet");
@@ -683,8 +705,7 @@ mod tests {
     fn unsupported_mtu_is_rejected() {
         let pd = pd();
         let cq = CompletionQueue::new(16);
-        let mut qp =
-            QueuePair::create(&pd, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
+        let mut qp = QueuePair::create(&pd, &cq, &cq, Transport::Rc, QpCaps::default()).unwrap();
         qp.modify_to_init().unwrap();
         // All standard MTUs are supported by CX-6, so fabricate failure by a
         // zero-depth cap instead: creation itself must reject it.

@@ -55,7 +55,13 @@ pub enum Mtu {
 
 impl Mtu {
     /// All valid MTUs in ascending order.
-    pub const ALL: [Mtu; 5] = [Mtu::Mtu256, Mtu::Mtu512, Mtu::Mtu1024, Mtu::Mtu2048, Mtu::Mtu4096];
+    pub const ALL: [Mtu; 5] = [
+        Mtu::Mtu256,
+        Mtu::Mtu512,
+        Mtu::Mtu1024,
+        Mtu::Mtu2048,
+        Mtu::Mtu4096,
+    ];
 
     /// The MTU in bytes.
     pub const fn bytes(self) -> u32 {
@@ -124,7 +130,11 @@ pub struct Sge {
 impl Sge {
     /// An SGE covering `[offset, offset + length)` of the MR with `lkey`.
     pub fn new(lkey: u32, offset: u64, length: u64) -> Sge {
-        Sge { lkey, offset, length }
+        Sge {
+            lkey,
+            offset,
+            length,
+        }
     }
 }
 
@@ -233,7 +243,11 @@ mod tests {
         let wr = SendWr {
             wr_id: 1,
             opcode: WrOpcode::RdmaWrite,
-            sge: vec![Sge::new(1, 0, 128), Sge::new(1, 128, 65536), Sge::new(2, 0, 1024)],
+            sge: vec![
+                Sge::new(1, 0, 128),
+                Sge::new(1, 128, 65536),
+                Sge::new(2, 0, 1024),
+            ],
             rkey: 7,
             remote_offset: 0,
             signaled: true,

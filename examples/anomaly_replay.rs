@@ -8,8 +8,8 @@
 //! Run with: `cargo run --example anomaly_replay -- <anomaly-number>`
 //! (defaults to anomaly #4, the bidirectional RC READ pause storm).
 
-use collie::prelude::*;
 use collie::core::monitor::MfsExtractor;
+use collie::prelude::*;
 use collie::rnic::counters::{diag, perf};
 
 fn main() {
@@ -25,7 +25,11 @@ fn main() {
     println!(
         "Anomaly #{} ({}) on subsystem {} — {}",
         anomaly.id,
-        if anomaly.new { "new, found by Collie" } else { "previously known" },
+        if anomaly.new {
+            "new, found by Collie"
+        } else {
+            "previously known"
+        },
         anomaly.subsystem,
         anomaly.symptom,
     );
@@ -37,7 +41,10 @@ fn main() {
     let monitor = AnomalyMonitor::new();
     let (measurement, verdict) = monitor.measure_and_assess(&mut engine, &anomaly.trigger);
 
-    println!("Measurement over a {}-second window:", measurement.window.as_secs_f64());
+    println!(
+        "Measurement over a {}-second window:",
+        measurement.window.as_secs_f64()
+    );
     for dir in &measurement.directions {
         println!(
             "  {:<12} offered {:>8.1} Gbps   achieved {:>8.1} Gbps   {:>7.2} Mpps",
@@ -95,7 +102,14 @@ fn main() {
             "\nNo documented fix; avoid the anomaly by breaking one of the MFS conditions above."
         );
     } else {
-        println!("\nDocumented remediation ({}):", if plan.has_fix() { "fix available" } else { "bypass only" });
+        println!(
+            "\nDocumented remediation ({}):",
+            if plan.has_fix() {
+                "fix available"
+            } else {
+                "bypass only"
+            }
+        );
         for m in &plan.mitigations {
             println!("  - {m}");
         }

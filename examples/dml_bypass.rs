@@ -16,10 +16,12 @@
 //! Run with: `cargo run --example dml_bypass`
 
 use collie::core::advisor::Advisor;
-use collie::prelude::*;
-use collie::verbs::{AccessFlags, CompletionQueue, Fabric, Mtu, QpCaps, QueuePair, SendWr, Sge, WrOpcode};
 use collie::host::memory::MemoryTarget;
+use collie::prelude::*;
 use collie::sim::units::ByteSize;
+use collie::verbs::{
+    AccessFlags, CompletionQueue, Fabric, Mtu, QpCaps, QueuePair, SendWr, Sge, WrOpcode,
+};
 
 /// The tensor-push pattern of the framework: a small header, the tensor
 /// payload, and a small trailer in one scatter/gather list.
@@ -28,8 +30,8 @@ fn tensor_push_wr(lkey: u32, wr_id: u64, tensor_bytes: u64) -> SendWr {
         wr_id,
         opcode: WrOpcode::RdmaWrite,
         sge: vec![
-            Sge::new(lkey, 0, 128),             // metadata header
-            Sge::new(lkey, 128, tensor_bytes),  // tensor payload
+            Sge::new(lkey, 0, 128),                   // metadata header
+            Sge::new(lkey, 128, tensor_bytes),        // tensor payload
             Sge::new(lkey, 128 + tensor_bytes, 1024), // trailer / keys
         ],
         rkey: 0,
@@ -38,7 +40,11 @@ fn tensor_push_wr(lkey: u32, wr_id: u64, tensor_bytes: u64) -> SendWr {
     }
 }
 
-fn run_training_iteration(subsystem: SubsystemId, tensor_bytes: u64, split_sg_list: bool) -> (f64, f64) {
+fn run_training_iteration(
+    subsystem: SubsystemId,
+    tensor_bytes: u64,
+    split_sg_list: bool,
+) -> (f64, f64) {
     let mut fabric = Fabric::from_catalog(subsystem);
     let worker_ctx = fabric.device(0).open();
     let server_ctx = fabric.device(1).open();
@@ -51,10 +57,18 @@ fn run_training_iteration(subsystem: SubsystemId, tensor_bytes: u64, split_sg_li
             let pd_a = ctx_a.alloc_pd();
             let pd_b = ctx_b.alloc_pd();
             let mr_a = pd_a
-                .reg_mr(ByteSize::from_mib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
+                .reg_mr(
+                    ByteSize::from_mib(4),
+                    MemoryTarget::local_dram(),
+                    AccessFlags::FULL,
+                )
                 .expect("register send MR");
-            pd_b.reg_mr(ByteSize::from_mib(4), MemoryTarget::local_dram(), AccessFlags::FULL)
-                .expect("register recv MR");
+            pd_b.reg_mr(
+                ByteSize::from_mib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
+            .expect("register recv MR");
             let cq_a = CompletionQueue::new(1024);
             let cq_b = CompletionQueue::new(1024);
             let mut push = QueuePair::create(&pd_a, &cq_a, &cq_a, Transport::Rc, QpCaps::default())
@@ -118,7 +132,10 @@ fn main() {
 
     // 1. The original framework traffic: mixed-size SG lists, bidirectional.
     let (gbps, pause) = run_training_iteration(subsystem, tensor_bytes, false);
-    println!("Original tensor pattern:  {gbps:>6.1} Gbps total, pause duration ratio {:.1}%", pause * 100.0);
+    println!(
+        "Original tensor pattern:  {gbps:>6.1} Gbps total, pause duration ratio {:.1}%",
+        pause * 100.0
+    );
 
     // 2. Describe the same workload as a search point and ask the advisor
     //    which known anomaly it matches.
@@ -131,13 +148,19 @@ fn main() {
     let advisor = Advisor::for_subsystem(subsystem);
     println!("\nAdvisor diagnosis:");
     for suggestion in advisor.diagnose(&workload) {
-        println!("  matches {} — {}", suggestion.anomaly, suggestion.recommendation);
+        println!(
+            "  matches {} — {}",
+            suggestion.anomaly, suggestion.recommendation
+        );
     }
 
     // 3. Apply the bypass the paper's developers chose: stop mixing small
     //    and large elements in one SG list.
     let (gbps_fixed, pause_fixed) = run_training_iteration(subsystem, tensor_bytes, true);
-    println!("\nBypassed tensor pattern:  {gbps_fixed:>6.1} Gbps total, pause duration ratio {:.1}%", pause_fixed * 100.0);
+    println!(
+        "\nBypassed tensor pattern:  {gbps_fixed:>6.1} Gbps total, pause duration ratio {:.1}%",
+        pause_fixed * 100.0
+    );
 
     // 4. And the eventual platform fix: forced relaxed ordering makes the
     //    original pattern safe again.

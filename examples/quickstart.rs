@@ -12,9 +12,16 @@ use collie::prelude::*;
 
 fn main() {
     let subsystem = SubsystemId::F;
-    println!("Collie quickstart on subsystem {subsystem} ({})", subsystem.info().rnic);
-    println!("Search space: ~1e{:.0} nominal workloads\n",
-        SearchSpace::for_host(&subsystem.host()).nominal_cardinality().log10());
+    println!(
+        "Collie quickstart on subsystem {subsystem} ({})",
+        subsystem.info().rnic
+    );
+    println!(
+        "Search space: ~1e{:.0} nominal workloads\n",
+        SearchSpace::for_host(&subsystem.host())
+            .nominal_cardinality()
+            .log10()
+    );
 
     // Two simulated hours of testing (each experiment costs 20-60 s of
     // simulated hardware time, exactly like the paper's setup).
@@ -42,7 +49,10 @@ fn main() {
         );
         println!("     minimal feature set: {}", discovery.mfs.describe());
         if !discovery.matched_rules.is_empty() {
-            println!("     matches paper anomaly rule(s): {}", discovery.matched_rules.join(", "));
+            println!(
+                "     matches paper anomaly rule(s): {}",
+                discovery.matched_rules.join(", ")
+            );
         }
         println!();
     }
@@ -58,5 +68,8 @@ fn main() {
             verdict.is_anomalous()
         })
         .count();
-    println!("{confirmed}/{} discoveries re-confirmed on replay.", outcome.discoveries.len());
+    println!(
+        "{confirmed}/{} discoveries re-confirmed on replay.",
+        outcome.discoveries.len()
+    );
 }

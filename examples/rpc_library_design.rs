@@ -11,8 +11,8 @@
 //!
 //! Run with: `cargo run --example rpc_library_design`
 
-use collie::prelude::*;
 use collie::core::advisor::Advisor;
+use collie::prelude::*;
 
 fn main() {
     let subsystem = SubsystemId::F;
@@ -22,8 +22,10 @@ fn main() {
     // connections per host.
     let envelope = SpaceRestriction::rpc_library();
     println!("RPC library design review on subsystem {subsystem}");
-    println!("Envelope: RC transport only, <= {} QPs, no GPU memory, no loopback.\n",
-        envelope.max_qps.unwrap_or(0));
+    println!(
+        "Envelope: RC transport only, <= {} QPs, no GPU memory, no loopback.\n",
+        envelope.max_qps.unwrap_or(0)
+    );
 
     // Step 1: which catalogued anomalies are still reachable inside the
     // envelope? (The "anomaly prevention" workflow.)
@@ -31,7 +33,11 @@ fn main() {
     let report = advisor.prevention_report(&envelope);
     println!("Reachable anomalies within the envelope: {}", report.len());
     for suggestion in &report {
-        println!("  {} — conditions: {}", suggestion.anomaly, suggestion.matched_conditions.join("; "));
+        println!(
+            "  {} — conditions: {}",
+            suggestion.anomaly,
+            suggestion.matched_conditions.join("; ")
+        );
     }
 
     // Step 2: run a restricted search campaign to confirm the reachable set

@@ -28,8 +28,10 @@ fn main() {
     let seed = 7;
     let candidates = [SubsystemId::E, SubsystemId::F, SubsystemId::H];
 
-    println!("Qualifying {} candidate subsystems with {budget_hours} simulated hours each:\n",
-        candidates.len());
+    println!(
+        "Qualifying {} candidate subsystems with {budget_hours} simulated hours each:\n",
+        candidates.len()
+    );
 
     let reports: Vec<Qualification> = candidates
         .iter()
@@ -63,7 +65,12 @@ fn main() {
     for (id, rules) in &sets {
         let unique: Vec<&String> = rules
             .iter()
-            .filter(|r| sets.iter().filter(|(o, s)| o != id && s.contains(*r)).count() == 0)
+            .filter(|r| {
+                sets.iter()
+                    .filter(|(o, s)| o != id && s.contains(*r))
+                    .count()
+                    == 0
+            })
             .collect();
         println!(
             "  {id}: {} rules ({} unique to this platform)",

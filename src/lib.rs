@@ -69,8 +69,8 @@ use prelude::*;
 pub fn quick_campaign(subsystem: SubsystemId, budget_hours: f64, seed: u64) -> SearchOutcome {
     let mut engine = WorkloadEngine::for_catalog(subsystem);
     let space = SearchSpace::for_host(&subsystem.host());
-    let config = SearchConfig::collie(seed)
-        .with_budget(SimDuration::from_secs_f64(budget_hours * 3600.0));
+    let config =
+        SearchConfig::collie(seed).with_budget(SimDuration::from_secs_f64(budget_hours * 3600.0));
     run_search(&mut engine, &space, &config)
 }
 

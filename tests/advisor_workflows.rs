@@ -24,13 +24,28 @@ fn prevention_rpc_library_reaches_4_and_5_but_not_ud_or_gpu_anomalies() {
         .map(|a| a.id)
         .collect();
 
-    assert!(reachable.contains(&4), "RC READ batching anomaly is reachable");
-    assert!(reachable.contains(&5), "RC SEND receive-queue anomaly is reachable");
+    assert!(
+        reachable.contains(&4),
+        "RC READ batching anomaly is reachable"
+    );
+    assert!(
+        reachable.contains(&5),
+        "RC SEND receive-queue anomaly is reachable"
+    );
     for ud_only in [1u32, 2] {
-        assert!(!reachable.contains(&ud_only), "#{ud_only} needs UD, excluded by the envelope");
+        assert!(
+            !reachable.contains(&ud_only),
+            "#{ud_only} needs UD, excluded by the envelope"
+        );
     }
-    assert!(!reachable.contains(&12), "GPU-Direct anomaly is outside the envelope");
-    assert!(!reachable.contains(&13), "loopback anomaly is outside the envelope");
+    assert!(
+        !reachable.contains(&12),
+        "GPU-Direct anomaly is outside the envelope"
+    );
+    assert!(
+        !reachable.contains(&13),
+        "loopback anomaly is outside the envelope"
+    );
 
     // Every reachable anomaly comes with an actionable suggestion.
     let report = advisor.prevention_report(&restriction);

@@ -116,7 +116,10 @@ fn breaking_a_documented_necessary_condition_untriggers_the_anomaly() {
         // #4: bidirectional traffic is necessary.
         (4, Box::new(|p: &mut SearchPoint| p.bidirectional = false)),
         // #5: message sizes in 2KB..8KB are necessary.
-        (5, Box::new(|p: &mut SearchPoint| p.messages = vec![64 * 1024])),
+        (
+            5,
+            Box::new(|p: &mut SearchPoint| p.messages = vec![64 * 1024]),
+        ),
         // #6: >= ~32 QPs are necessary.
         (6, Box::new(|p: &mut SearchPoint| p.num_qps = 2)),
         // #7: >= ~480 QPs are necessary.
@@ -124,7 +127,10 @@ fn breaking_a_documented_necessary_condition_untriggers_the_anomaly() {
         // #8: >= ~12K MRs are necessary.
         (8, Box::new(|p: &mut SearchPoint| p.mrs_per_qp = 1)),
         // #9: the small/large message mix is necessary.
-        (9, Box::new(|p: &mut SearchPoint| p.messages = vec![64 * 1024])),
+        (
+            9,
+            Box::new(|p: &mut SearchPoint| p.messages = vec![64 * 1024]),
+        ),
         // #10: WQE batch >= 64 is necessary.
         (10, Box::new(|p: &mut SearchPoint| p.wqe_batch = 8)),
         // #11: the cross-socket memory placement is necessary.
@@ -151,7 +157,10 @@ fn breaking_a_documented_necessary_condition_untriggers_the_anomaly() {
         // #16: the small MTU is necessary.
         (16, Box::new(|p: &mut SearchPoint| p.mtu = 4096)),
         // #17: messages <= 1KB are necessary.
-        (17, Box::new(|p: &mut SearchPoint| p.messages = vec![256 * 1024])),
+        (
+            17,
+            Box::new(|p: &mut SearchPoint| p.messages = vec![256 * 1024]),
+        ),
         // #18: bidirectional traffic is necessary.
         (18, Box::new(|p: &mut SearchPoint| p.bidirectional = false)),
     ];
@@ -160,7 +169,10 @@ fn breaking_a_documented_necessary_condition_untriggers_the_anomaly() {
     for (id, break_condition) in break_one {
         let anomaly = KnownAnomaly::by_id(id).unwrap();
         let verdict = assess(anomaly.subsystem, &anomaly.trigger);
-        assert!(verdict.is_anomalous(), "#{id} must trigger before the break");
+        assert!(
+            verdict.is_anomalous(),
+            "#{id} must trigger before the break"
+        );
 
         let mut broken = anomaly.trigger.clone();
         break_condition(&mut broken);

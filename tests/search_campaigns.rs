@@ -64,10 +64,8 @@ fn collie_finds_at_least_as_many_known_anomalies_as_random() {
     let mut collie_total = 0usize;
     let mut random_total = 0usize;
     for seed in [3u64, 29] {
-        let collie_outcome =
-            subsystem_f_campaign(&SearchConfig::collie(seed).with_budget(budget));
-        let random_outcome =
-            subsystem_f_campaign(&SearchConfig::random(seed).with_budget(budget));
+        let collie_outcome = subsystem_f_campaign(&SearchConfig::collie(seed).with_budget(budget));
+        let random_outcome = subsystem_f_campaign(&SearchConfig::random(seed).with_budget(budget));
         collie_total += collie_outcome.distinct_known_anomalies().len();
         random_total += random_outcome.distinct_known_anomalies().len();
     }
@@ -75,7 +73,10 @@ fn collie_finds_at_least_as_many_known_anomalies_as_random() {
         collie_total >= random_total,
         "counter-guided annealing ({collie_total}) should not trail random probing ({random_total})"
     );
-    assert!(collie_total > 0, "Collie must find something in 3 simulated hours");
+    assert!(
+        collie_total > 0,
+        "Collie must find something in 3 simulated hours"
+    );
 }
 
 #[test]
@@ -147,7 +148,8 @@ fn campaigns_are_deterministic_for_a_fixed_seed() {
     assert_eq!(a.discoveries.len(), b.discoveries.len());
 
     // A different seed explores differently.
-    let c = subsystem_f_campaign(&SearchConfig::collie(98).with_budget(SimDuration::from_secs(3600)));
+    let c =
+        subsystem_f_campaign(&SearchConfig::collie(98).with_budget(SimDuration::from_secs(3600)));
     assert!(
         c.experiments != a.experiments || c.discoveries.len() != a.discoveries.len(),
         "different seeds should not replay the identical campaign"
@@ -161,11 +163,16 @@ fn milestones_and_time_to_find_are_consistent() {
     );
     let milestones = outcome.milestones();
     // Milestones are monotone in both time and count.
-    assert!(milestones.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+    assert!(milestones
+        .windows(2)
+        .all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
     // time_to_find agrees with the milestone list.
     for (at, count) in &milestones {
         let t = outcome.time_to_find(*count).expect("reached this count");
-        assert!(t <= *at, "time_to_find({count}) = {t} should be <= milestone {at}");
+        assert!(
+            t <= *at,
+            "time_to_find({count}) = {t} should be <= milestone {at}"
+        );
     }
     // An unreachable count returns None.
     assert_eq!(outcome.time_to_find(1000), None);
@@ -176,8 +183,7 @@ fn restricted_search_space_stays_inside_the_envelope() {
     // The §7.3 prevention workflow runs the same search over a restricted
     // space; every experiment must stay inside the envelope.
     let restriction = SpaceRestriction::rpc_library();
-    let space =
-        SearchSpace::for_host(&SubsystemId::F.host()).restricted(restriction.clone());
+    let space = SearchSpace::for_host(&SubsystemId::F.host()).restricted(restriction.clone());
     let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
     let config = SearchConfig::collie(19).with_budget(SimDuration::from_secs(3600));
     let outcome = collie::core::search::run_search(&mut engine, &space, &config);

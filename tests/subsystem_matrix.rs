@@ -49,7 +49,11 @@ fn table1_metadata_matches_the_paper() {
     for id in SubsystemId::ALL {
         let info = id.info();
         let gen4 = info.pcie.starts_with("4.0");
-        assert_eq!(gen4, info.speed == "200 Gbps", "PCIe column mismatch for {id}");
+        assert_eq!(
+            gen4,
+            info.speed == "200 Gbps",
+            "PCIe column mismatch for {id}"
+        );
     }
 }
 
@@ -66,7 +70,10 @@ fn line_rate_traffic_saturates_every_subsystem_without_anomalies() {
             achieved >= 0.8 * spec_gbps,
             "{id}: benign workload reaches only {achieved:.0} of {spec_gbps:.0} Gbps"
         );
-        assert!(measurement.max_pause_ratio() < 0.001, "{id}: unexpected pause frames");
+        assert!(
+            measurement.max_pause_ratio() < 0.001,
+            "{id}: unexpected pause frames"
+        );
     }
 }
 
@@ -158,10 +165,19 @@ fn subsystem_speeds_scale_measured_throughput() {
     // ~200 Gbps on subsystem F: the spec, not the workload, is the limit.
     let mut engine_a = WorkloadEngine::for_catalog(SubsystemId::A);
     let mut engine_f = WorkloadEngine::for_catalog(SubsystemId::F);
-    let a = engine_a.measure(&SearchPoint::benign()).total_throughput().gbps();
-    let f = engine_f.measure(&SearchPoint::benign()).total_throughput().gbps();
+    let a = engine_a
+        .measure(&SearchPoint::benign())
+        .total_throughput()
+        .gbps();
+    let f = engine_f
+        .measure(&SearchPoint::benign())
+        .total_throughput()
+        .gbps();
     assert!(a <= 25.0 * 1.001);
-    assert!(f > 4.0 * a, "subsystem F ({f:.0} Gbps) should be far faster than A ({a:.0} Gbps)");
+    assert!(
+        f > 4.0 * a,
+        "subsystem F ({f:.0} Gbps) should be far faster than A ({a:.0} Gbps)"
+    );
 }
 
 #[test]

@@ -40,10 +40,8 @@ fn connected_pair(
         .unwrap();
     let cq_a = CompletionQueue::new(1024);
     let cq_b = CompletionQueue::new(1024);
-    let mut qp_a =
-        QueuePair::create(&pd_a, &cq_a, &cq_a, transport, QpCaps::default()).unwrap();
-    let mut qp_b =
-        QueuePair::create(&pd_b, &cq_b, &cq_b, transport, QpCaps::default()).unwrap();
+    let mut qp_a = QueuePair::create(&pd_a, &cq_a, &cq_a, transport, QpCaps::default()).unwrap();
+    let mut qp_b = QueuePair::create(&pd_b, &cq_b, &cq_b, transport, QpCaps::default()).unwrap();
     Fabric::connect(&mut qp_a, &mut qp_b, mtu).unwrap();
     (qp_a, qp_b, mr_a.lkey, mr_b.lkey)
 }
@@ -256,7 +254,10 @@ fn running_the_fabric_delivers_completions_and_a_measurement() {
 
     let measurement = fabric.run(&mut [&mut qp_a, &mut qp_b]).unwrap();
     assert!(measurement.total_throughput().gbps() > 0.0);
-    assert!(measurement.max_pause_ratio() < 0.001, "small benign exchange");
+    assert!(
+        measurement.max_pause_ratio() < 0.001,
+        "small benign exchange"
+    );
 
     // Send-side completions on A, receive-side completions on B.
     let send_wcs = qp_a.send_cq().poll(64);

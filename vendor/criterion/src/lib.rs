@@ -1,0 +1,239 @@
+//! Offline Criterion shim for the Collie workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the Criterion authoring API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with a
+//! deliberately small measurement core: a fixed warm-up pass followed by a
+//! timed batch, reporting mean wall-clock time per iteration. It produces
+//! no HTML reports and does no statistical analysis; its purpose is to keep
+//! `cargo bench` working (and the bench targets compiling under
+//! `cargo test`) with believable relative numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many timed iterations the shim runs per benchmark (after one
+/// warm-up iteration). Kept small: the workspace's campaign benches run
+/// multi-second simulated searches per iteration.
+const DEFAULT_TIMED_ITERS: u64 = 10;
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    timed_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            timed_iters: DEFAULT_TIMED_ITERS,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.timed_iters, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks, as returned by
+/// [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the target sample count. The shim only uses it to cap its timed
+    /// iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a benchmark identified by `id` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let iters = self
+            .sample_size
+            .map(|n| (n as u64).min(self.criterion.timed_iters))
+            .unwrap_or(self.criterion.timed_iters)
+            .max(1);
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, iters, &mut |b| f(b, input));
+        self
+    }
+
+    /// Run a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let iters = self
+            .sample_size
+            .map(|n| (n as u64).min(self.criterion.timed_iters))
+            .unwrap_or(self.criterion.timed_iters)
+            .max(1);
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, iters, &mut f);
+        self
+    }
+
+    /// Finish the group (a no-op in the shim; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it once to warm up and then `iters` times
+    /// under the clock.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.total_iters += self.iters;
+    }
+}
+
+fn run_one<F>(id: &str, iters: u64, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+        total_iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.total_iters == 0 {
+        println!("{id:<40} (no iterations recorded)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.total_iters as f64;
+    println!(
+        "{id:<40} {:>12.3} us/iter ({} iters)",
+        per_iter * 1e6,
+        bencher.total_iters
+    );
+}
+
+/// Collect benchmark functions into a runnable group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("shim/test", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // One warm-up + DEFAULT_TIMED_ITERS timed iterations.
+        assert_eq!(runs, DEFAULT_TIMED_ITERS + 1);
+    }
+
+    #[test]
+    fn groups_respect_sample_size_cap() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &2u64, |b, &two| {
+            b.iter(|| {
+                runs += two;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 2 * 4); // warm-up + 3 timed iterations
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline shim for the subset of `crossbeam` the Collie workspace uses:
+//! `crossbeam::thread::scope` for structured fork/join parallelism.
+//!
+//! The build environment has no access to crates.io, so this crate adapts
+//! `std::thread::scope` (stable since Rust 1.63) to crossbeam's calling
+//! convention: the scope closure returns a `Result`, and spawn closures
+//! receive a scope argument (which callers here ignore as `|_|`).
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread primitives mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// The error payload of a panicked scoped thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A handle passed to every spawned closure. The real crossbeam passes
+    /// `&Scope` so that threads can spawn siblings; the Collie workspace
+    /// never does, so the shim passes this placeholder instead.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScope;
+
+    /// A scope in which child threads can be spawned; created by [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned permission to join a scoped thread, as returned by
+    /// [`Scope::spawn`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result, or the
+        /// panic payload if it panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread that may borrow from the enclosing scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope)),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the caller's
+    /// stack. Unlike `std::thread::scope`, the crossbeam version returns a
+    /// `Result`; with the underlying std implementation every child is
+    /// joined (and unjoined panics propagate), so this shim always returns
+    /// `Ok` with the closure's value.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_spawned_threads() {
+        let data = vec![1u64, 2, 3];
+        let total = super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &x in &data {
+                handles.push(scope.spawn(move |_| x * 10));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("thread ok"))
+                .sum::<u64>()
+        })
+        .expect("scope ok");
+        assert_eq!(total, 60);
+    }
+}

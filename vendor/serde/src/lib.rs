@@ -1,0 +1,552 @@
+//! Offline serde shim for the Collie workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the serde surface the workspace actually uses — `Serialize` /
+//! `Deserialize` traits, the two derive macros, and a JSON-shaped [`Value`]
+//! tree — implemented from scratch with no dependencies. The companion
+//! `serde_json` shim renders and parses [`Value`] as JSON text.
+//!
+//! The data model is deliberately simple: serialisation goes through
+//! [`Serialize::to_value`], deserialisation through
+//! [`Deserialize::from_value`]. The derive macros (in `serde_derive`)
+//! generate exactly those impls, with real serde's externally-tagged enum
+//! representation and transparent newtype structs, so the JSON produced
+//! here matches what real serde would produce for the same types.
+//!
+//! Known deviations from real serde, stated per the workspace's shim
+//! rules (see `DESIGN.md` §5): numbers are stored as `f64`, so integers
+//! above 2^53 are rejected at serialisation time (an assert) instead of
+//! being preserved exactly; `#[serde(...)]` attributes and generic types
+//! fail the build instead of being honoured.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the intermediate form every `Serialize` /
+/// `Deserialize` impl converts through.
+///
+/// Object entries preserve insertion order (fields serialise in declaration
+/// order, like real serde).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`, like `serde_json` with default
+    /// features when reading arbitrary numbers).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's JSON type, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object entries, or a type error naming `context`.
+    pub fn expect_object(&self, context: &str) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Object(entries) => Ok(entries),
+            other => Err(Error::type_mismatch(context, "object", other)),
+        }
+    }
+
+    /// The array elements (checked against `len` when given), or a type
+    /// error naming `context`.
+    pub fn expect_array(&self, context: &str, len: Option<usize>) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => {
+                if let Some(expected) = len {
+                    if items.len() != expected {
+                        return Err(Error::custom(format!(
+                            "{context}: expected an array of {expected} elements, got {}",
+                            items.len()
+                        )));
+                    }
+                }
+                Ok(items)
+            }
+            other => Err(Error::type_mismatch(context, "array", other)),
+        }
+    }
+}
+
+/// Serialisation/deserialisation error: a message, as in `serde::de::Error`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Build a "wrong JSON type" error.
+    pub fn type_mismatch(context: &str, expected: &str, got: &Value) -> Error {
+        Error::custom(format!(
+            "{context}: expected {expected}, got {}",
+            got.kind()
+        ))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can convert itself into a [`Value`].
+pub trait Serialize {
+    /// Convert `self` into the JSON-shaped intermediate form.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from the JSON-shaped intermediate form.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialize one named field out of an object's entries; used by the
+/// derive-generated code.
+pub fn get_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::custom(format!("{context}.{name}: {e}")))
+        }
+        None => Err(Error::custom(format!("{context}: missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                // `Value` stores numbers as f64, so integers above 2^53
+                // cannot be represented exactly (real serde_json preserves
+                // full 64-bit precision). Nothing in this workspace
+                // serialises values that large; fail loudly rather than
+                // silently corrupt if that ever changes. The bound is an
+                // explicit magnitude check — a round-trip comparison would
+                // false-pass at the type extremes, where the widening
+                // rounds up and the narrowing cast saturates back.
+                assert!(
+                    (*self as i128).unsigned_abs() <= 1u128 << 53,
+                    "serde shim: {} value {} exceeds f64's exact integer range",
+                    stringify!($ty),
+                    self
+                );
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    // The magnitude bound rejects numbers beyond f64's
+                    // exact integer range before the round-trip check
+                    // (whose saturating casts would otherwise false-pass
+                    // at the type extremes); the round-trip check then
+                    // rejects negatives for unsigned types and values
+                    // outside the type's own range, matching real serde's
+                    // behaviour of erroring instead of silently coercing.
+                    Value::Number(n)
+                        if n.fract() == 0.0
+                            && n.abs() <= (1u64 << 53) as f64
+                            && (*n as $ty) as f64 == *n =>
+                    {
+                        Ok(*n as $ty)
+                    }
+                    Value::Number(n) => Err(Error::custom(format!(
+                        "{}: number {n} out of range",
+                        stringify!($ty)
+                    ))),
+                    other => Err(Error::type_mismatch(stringify!($ty), "integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(*n),
+            other => Err(Error::type_mismatch("f64", "number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(*n as f32),
+            other => Err(Error::type_mismatch("f32", "number", other)),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", "boolean", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("String", "string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::type_mismatch(
+                "char",
+                "single-character string",
+                other,
+            )),
+        }
+    }
+}
+
+/// Deserialising into `&'static str` leaks the parsed string. The workspace
+/// only does this for small rule/counter identifiers in test round-trips,
+/// so the leak is bounded and acceptable for an offline shim.
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::type_mismatch("&str", "string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("Vec", "array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.expect_array("array", Some(N))?;
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.expect_array("tuple", Some(2))?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.expect_array("tuple", Some(3))?;
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+/// Render a map key: string keys pass through; any other serialisable key
+/// uses its JSON text (matching `serde_json`'s requirement that object keys
+/// be strings, with unit-enum keys rendering as their variant name).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::String(s) => s,
+        Value::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    // Try the string form first (unit enums, String); fall back to numeric
+    // and boolean parses for integer/bool keys.
+    let as_string = Value::String(key.to_string());
+    if let Ok(k) = K::from_value(&as_string) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::Number(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = key.parse::<bool>() {
+        if let Ok(k) = K::from_value(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot parse map key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value.expect_object("BTreeMap")?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output, as serde_json's "preserve_order"
+        // users expect at least stability.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value.expect_object("HashMap")?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::type_mismatch("()", "null", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let round: Vec<u64> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        let round: BTreeMap<String, f64> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(round, m);
+
+        let o: Option<u32> = None;
+        assert_eq!(o.to_value(), Value::Null);
+        let round: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(round, None);
+    }
+
+    #[test]
+    fn type_errors_name_the_context() {
+        let err = u64::from_value(&Value::String("x".into())).unwrap_err();
+        assert!(err.to_string().contains("u64"));
+    }
+}

@@ -1,0 +1,426 @@
+//! Derive macros for the offline serde shim.
+//!
+//! The build environment has no access to crates.io, so `syn`/`quote` are
+//! unavailable; this crate parses the derive input directly from the raw
+//! `proc_macro::TokenStream` and emits impl blocks as source text. It
+//! supports exactly the shapes the Collie workspace uses:
+//!
+//! * structs with named fields → JSON objects in declaration order;
+//! * tuple structs with one field (newtypes) → transparent, like serde;
+//! * tuple structs with several fields → JSON arrays;
+//! * enums → externally tagged, like serde's default representation
+//!   (`"Variant"` for unit variants, `{"Variant": …}` for data variants).
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported; the derive panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim): generates a `to_value` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (shim): generates a `from_value` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny item parser over the raw token stream.
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "type name");
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Kind::Struct(Fields::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde shim derive: enum `{name}` has no body"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Input { name, kind }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]`: the attribute body is the next (bracket) group.
+                // `#[serde(...)]` attributes carry semantics this shim does
+                // not implement — fail the build loudly rather than let the
+                // generated impl silently ignore them.
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if matches!(
+                        g.stream().into_iter().next(),
+                        Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+                    ) {
+                        panic!(
+                            "serde shim derive: #[serde(...)] attributes are not \
+                             supported by the offline shim (vendor/serde_derive)"
+                        );
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` / `pub(super)`
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parse `name: Type, ...` out of a brace group, returning the field names.
+/// Commas inside angle brackets (`BTreeMap<K, V>`) are not separators.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "field name");
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Advance past one type, stopping after the field-separating comma (or at
+/// the end of the stream). Tracks angle-bracket depth so commas inside
+/// generic arguments don't end the field.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i64 = 0;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count the fields of a tuple struct/variant body (the parenthesised
+/// group's stream).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth: i64 = 0;
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_type_until_comma(&tokens, &mut i);
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then reparsed).
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(vec![{entries}])")
+        }
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Value::Array(vec![{items}])")
+                        };
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vname}\"), {inner})]),"
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let entries = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    \
+         fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(__fields, \"{f}\", \"{name}\")?,"))
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "let __fields = value.expect_object(\"{name}\")?;\n        \
+                 Ok({name} {{\n            {inits}\n        }})"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __items = value.expect_array(\"{name}\", Some({n}))?;\n        \
+                 Ok({name}({items}))"
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!(
+            "match value {{\n            \
+             ::serde::Value::Null => Ok({name}),\n            \
+             __other => Err(::serde::Error::type_mismatch(\"{name}\", \"null\", __other)),\n        \
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let data_arms = variants
+                .iter()
+                .filter_map(|(vname, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        Some(format!(
+                            "\"{vname}\" => {{\n                        \
+                             let __items = __inner.expect_array(\"{name}::{vname}\", Some({n}))?;\n                        \
+                             Ok({name}::{vname}({items}))\n                    }}"
+                        ))
+                    }
+                    Fields::Named(fnames) => {
+                        let inits = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::get_field(__vfields, \"{f}\", \
+                                     \"{name}::{vname}\")?,"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        Some(format!(
+                            "\"{vname}\" => {{\n                        \
+                             let __vfields = __inner.expect_object(\"{name}::{vname}\")?;\n                        \
+                             Ok({name}::{vname} {{ {inits} }})\n                    }}"
+                        ))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n                    ");
+            format!(
+                "match value {{\n            \
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n                \
+                 {unit_arms}\n                \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{}}`\", __other))),\n            \
+                 }},\n            \
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n                \
+                 let (__tag, __inner) = &__entries[0];\n                \
+                 let _ = __inner;\n                \
+                 match __tag.as_str() {{\n                    \
+                 {data_arms}\n                    \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{}}`\", __other))),\n                \
+                 }}\n            }}\n            \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"{name}: expected string or single-key object, got {{}}\", __other.kind()))),\n        \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    \
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        \
+         {body}\n    }}\n}}\n"
+    )
+}
