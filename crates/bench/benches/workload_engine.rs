@@ -47,7 +47,8 @@ fn bench_mfs_extraction(c: &mut Criterion) {
             let monitor = AnomalyMonitor::new();
             let space = SearchSpace::for_host(&SubsystemId::F.host());
             let anomaly = KnownAnomaly::by_id(1).unwrap();
-            let mut extractor = MfsExtractor::new(&mut engine, &monitor, &space);
+            let mut evaluator = collie_core::eval::Evaluator::new(&mut engine);
+            let mut extractor = MfsExtractor::new(&mut evaluator, &monitor, &space);
             black_box(extractor.extract(&anomaly.trigger, anomaly.symptom))
         })
     });

@@ -5,26 +5,46 @@
 //! Shape targets from the paper (absolute values depend on the simulated
 //! substrate): random finds only the simple anomalies, BO finds slightly
 //! more, Collie finds the most — ideally all 13 — and does so faster.
+//!
+//! All nine campaigns (3 strategies × 3 seeds) run as one parallel matrix;
+//! the per-strategy grouping below only reads the results back in order.
 
-use collie_bench::{fmt_minutes, run_seeded_campaigns, text_table, DEFAULT_SEEDS};
+use collie_bench::{
+    default_workers, fmt_minutes, run_campaign_matrix, text_table, CampaignSpec, DEFAULT_SEEDS,
+};
 use collie_core::catalog::KnownAnomaly;
 use collie_core::report::{time_to_find_rows, to_json};
-use collie_core::search::SearchConfig;
+use collie_core::search::{SearchConfig, SearchOutcome};
 use collie_rnic::subsystems::SubsystemId;
+use std::time::Instant;
 
 fn main() {
     let subsystem = SubsystemId::F;
     let max_anomalies = KnownAnomaly::for_subsystem(subsystem).len();
-    let configs = vec![
+    let configs = [
         ("Random", SearchConfig::random(0)),
         ("BO", SearchConfig::bayesian(0)),
         ("Collie", SearchConfig::collie(0)),
     ];
 
+    let cells: Vec<CampaignSpec> = configs
+        .iter()
+        .flat_map(|(_, config)| {
+            DEFAULT_SEEDS
+                .iter()
+                .map(|&seed| CampaignSpec::seeded(subsystem, config, seed))
+        })
+        .collect();
+    let started = Instant::now();
+    let matrix = run_campaign_matrix(&cells, default_workers());
+    let wall = started.elapsed();
+
+    let mut matrix = matrix.into_iter();
     let mut all_rows = Vec::new();
     let mut table_rows = Vec::new();
-    for (label, config) in &configs {
-        let outcomes = run_seeded_campaigns(subsystem, config, &DEFAULT_SEEDS);
+    for (label, _) in &configs {
+        let (outcomes, stats): (Vec<SearchOutcome>, Vec<_>) =
+            matrix.by_ref().take(DEFAULT_SEEDS.len()).unzip();
         let found: Vec<usize> = outcomes
             .iter()
             .map(|o| o.distinct_known_anomalies().len())
@@ -33,9 +53,14 @@ fn main() {
             .iter()
             .map(|o| o.distinct_triggered_anomalies().len())
             .collect();
+        let hit_rates: Vec<String> = stats
+            .iter()
+            .map(|s| format!("{:.0}%", s.hit_rate() * 100.0))
+            .collect();
         eprintln!(
             "{label}: distinct catalogued anomalies per seed = {found:?} \
-             (triggered at least once: {triggered:?}, of {max_anomalies})"
+             (triggered at least once: {triggered:?}, of {max_anomalies}; \
+             eval-cache hit rates {hit_rates:?})"
         );
         let rows = time_to_find_rows(label, &outcomes, max_anomalies);
         for row in &rows {
@@ -52,6 +77,12 @@ fn main() {
         }
         all_rows.extend(rows);
     }
+    eprintln!(
+        "matrix: {} campaigns on {} workers in {:.2} s wall-clock",
+        cells.len(),
+        default_workers(),
+        wall.as_secs_f64()
+    );
 
     println!(
         "Figure 4: mean time (simulated minutes) to find N distinct anomalies on subsystem F\n"

@@ -6,17 +6,22 @@
 //! most anomalies; diagnostic counters find more (notably the
 //! cache-scalability anomalies #7/#8 that cause no end-to-end throughput
 //! change at first); MFS roughly halves the time to cover the full set.
+//!
+//! All twelve campaigns (4 variants × 3 seeds) run as one parallel matrix.
 
-use collie_bench::{fmt_minutes, run_seeded_campaigns, text_table, DEFAULT_SEEDS};
+use collie_bench::{
+    default_workers, fmt_minutes, run_campaign_matrix, text_table, CampaignSpec, DEFAULT_SEEDS,
+};
 use collie_core::catalog::KnownAnomaly;
 use collie_core::report::{time_to_find_rows, to_json};
-use collie_core::search::{SearchConfig, SignalMode};
+use collie_core::search::{SearchConfig, SearchOutcome, SignalMode};
 use collie_rnic::subsystems::SubsystemId;
+use std::time::Instant;
 
 fn main() {
     let subsystem = SubsystemId::F;
     let max_anomalies = KnownAnomaly::for_subsystem(subsystem).len();
-    let configs = vec![
+    let configs = [
         SearchConfig::collie(0)
             .with_mfs(false)
             .with_signal(SignalMode::Performance),
@@ -27,11 +32,28 @@ fn main() {
         SearchConfig::collie(0).with_signal(SignalMode::Diagnostic),
     ];
 
+    let cells: Vec<CampaignSpec> = configs
+        .iter()
+        .flat_map(|config| {
+            DEFAULT_SEEDS
+                .iter()
+                .map(|&seed| CampaignSpec::seeded(subsystem, config, seed))
+        })
+        .collect();
+    let started = Instant::now();
+    let matrix = run_campaign_matrix(&cells, default_workers());
+    let wall = started.elapsed();
+
+    let mut matrix = matrix.into_iter();
     let mut all_rows = Vec::new();
     let mut table_rows = Vec::new();
     for config in &configs {
         let label = config.label();
-        let outcomes = run_seeded_campaigns(subsystem, config, &DEFAULT_SEEDS);
+        let outcomes: Vec<SearchOutcome> = matrix
+            .by_ref()
+            .take(DEFAULT_SEEDS.len())
+            .map(|(o, _)| o)
+            .collect();
         let found: Vec<usize> = outcomes
             .iter()
             .map(|o| o.distinct_known_anomalies().len())
@@ -59,6 +81,12 @@ fn main() {
         }
         all_rows.extend(rows);
     }
+    eprintln!(
+        "matrix: {} campaigns on {} workers in {:.2} s wall-clock",
+        cells.len(),
+        default_workers(),
+        wall.as_secs_f64()
+    );
 
     println!("Figure 5: counter-family and MFS ablation on subsystem F\n");
     println!(

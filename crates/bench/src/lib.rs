@@ -6,11 +6,19 @@
 //! operation. The binaries print aligned text tables (the same rows the
 //! paper reports) followed by a JSON block so EXPERIMENTS.md and plotting
 //! scripts can consume the numbers directly.
+//!
+//! Campaigns are embarrassingly parallel — each one owns a fresh copy of
+//! its subsystem — so the harness fans the full (strategy × subsystem ×
+//! seed) grid out across a bounded scoped-thread pool
+//! ([`run_campaign_matrix`]) instead of sweeping it serially.
 
 use collie_core::engine::WorkloadEngine;
-use collie_core::search::{run_search, SearchConfig, SearchOutcome};
+use collie_core::eval::EvalStats;
+use collie_core::search::{run_search_with_stats, SearchConfig, SearchOutcome};
 use collie_core::space::SearchSpace;
 use collie_rnic::subsystems::SubsystemId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Default seeds used when repeating a campaign for mean/std error bars.
 /// (The paper repeats each search and reports the standard deviation; three
@@ -18,50 +26,123 @@ use collie_rnic::subsystems::SubsystemId;
 /// bars.)
 pub const DEFAULT_SEEDS: [u64; 3] = [11, 23, 47];
 
+/// One cell of a campaign matrix: a search configuration (strategy, signal,
+/// MFS toggle, seed, budget) pointed at one subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// The subsystem the campaign runs against (a fresh copy per cell).
+    pub subsystem: SubsystemId,
+    /// The full search configuration, seed included.
+    pub config: SearchConfig,
+}
+
+impl CampaignSpec {
+    /// A cell running `config` with `seed` on `subsystem`.
+    pub fn seeded(subsystem: SubsystemId, config: &SearchConfig, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            subsystem,
+            config: SearchConfig {
+                seed,
+                ..config.clone()
+            },
+        }
+    }
+}
+
+/// The worker-pool width used when the caller does not pick one: the
+/// machine's parallelism, bounded so a huge host does not spawn more
+/// campaign threads than the matrix can feed.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 16)
+}
+
+/// Map `f` over `items` on a bounded pool of scoped worker threads,
+/// preserving input order in the results.
+///
+/// Workers pull the next index from a shared atomic cursor, so cheap items
+/// do not wait on expensive ones (campaign lengths vary by strategy). A
+/// panic in `f` propagates to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = workers.max(1).min(items.len().max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                let result = f(item);
+                *results[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    })
+    .expect("worker pool panicked");
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// Run every cell of a campaign matrix on a bounded worker pool, returning
+/// `(outcome, eval-cache stats)` per cell in matrix order.
+pub fn run_campaign_matrix(
+    cells: &[CampaignSpec],
+    workers: usize,
+) -> Vec<(SearchOutcome, EvalStats)> {
+    parallel_map(cells, workers, |cell| {
+        let mut engine = WorkloadEngine::for_catalog(cell.subsystem);
+        let space = SearchSpace::for_host(&cell.subsystem.host());
+        run_search_with_stats(&mut engine, &space, &cell.config)
+    })
+}
+
 /// Run the same campaign configuration once per seed on a fresh copy of the
-/// subsystem, in parallel.
+/// subsystem, in parallel (a one-configuration row of the campaign matrix).
 pub fn run_seeded_campaigns(
     subsystem: SubsystemId,
     config: &SearchConfig,
     seeds: &[u64],
 ) -> Vec<SearchOutcome> {
-    let mut outcomes: Vec<Option<SearchOutcome>> = Vec::new();
-    outcomes.resize_with(seeds.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (index, &seed) in seeds.iter().enumerate() {
-            let config = SearchConfig {
-                seed,
-                ..config.clone()
-            };
-            handles.push((
-                index,
-                scope.spawn(move |_| {
-                    let mut engine = WorkloadEngine::for_catalog(subsystem);
-                    let space = SearchSpace::for_host(&subsystem.host());
-                    run_search(&mut engine, &space, &config)
-                }),
-            ));
-        }
-        for (index, handle) in handles {
-            outcomes[index] = Some(handle.join().expect("campaign thread panicked"));
-        }
-    })
-    .expect("campaign scope");
-    outcomes
+    let cells: Vec<CampaignSpec> = seeds
+        .iter()
+        .map(|&seed| CampaignSpec::seeded(subsystem, config, seed))
+        .collect();
+    run_campaign_matrix(&cells, default_workers())
         .into_iter()
-        .map(|o| o.expect("campaign ran"))
+        .map(|(outcome, _)| outcome)
         .collect()
 }
 
-/// Render rows of `(label, cells)` as an aligned text table.
+/// Render rows of `(label, cells)` as an aligned text table. Rows may carry
+/// more cells than the header; widths are sized to the widest row.
 pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let columns = rows
+        .iter()
+        .map(|row| row.len())
+        .max()
+        .unwrap_or(0)
+        .max(header.len());
+    let mut widths: Vec<usize> = vec![0; columns];
+    for (i, h) in header.iter().enumerate() {
+        widths[i] = h.len();
+    }
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
+            widths[i] = widths[i].max(cell.len());
         }
     }
     let render_row = |cells: &[String]| -> String {
@@ -115,11 +196,71 @@ mod tests {
     }
 
     #[test]
+    fn text_table_sizes_widths_to_the_widest_row() {
+        // Regression: widths used to be computed only for header columns,
+        // so rows with more cells than the header rendered those cells with
+        // width 0 and broke alignment.
+        let table = text_table(
+            &["name"],
+            &[
+                vec!["a".to_string(), "x".to_string(), "yy".to_string()],
+                vec!["bb".to_string(), "wide-cell".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        // Every cell is padded to its column width, so both data rows start
+        // their second column at the same offset even though the header has
+        // a single cell.
+        let col2_row1 = lines[2].find('x').expect("row 1 second cell");
+        let col2_row2 = lines[3].find("wide-cell").expect("row 2 second cell");
+        assert_eq!(col2_row1, col2_row2, "{table}");
+        // The rule spans all three columns, not just the header's one:
+        // widths (4 + 9 + 2) plus 2 spaces of padding per column.
+        assert_eq!(lines[1].len(), 4 + 9 + 2 + 2 * 3);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_under_a_small_pool() {
+        let items: Vec<u64> = (0..37).collect();
+        let doubled = parallel_map(&items, 3, |&n| n * 2);
+        assert_eq!(doubled, items.iter().map(|n| n * 2).collect::<Vec<_>>());
+        // Degenerate widths are clamped, not panicked on.
+        assert_eq!(parallel_map(&items[..1], 0, |&n| n + 1), vec![1]);
+        assert!(parallel_map(&[] as &[u64], 4, |&n| n).is_empty());
+    }
+
+    #[test]
     fn seeded_campaigns_run_in_parallel_and_are_independent() {
         let config = SearchConfig::random(0).with_budget(SimDuration::from_secs(900));
         let outcomes = run_seeded_campaigns(SubsystemId::F, &config, &[1, 2]);
         assert_eq!(outcomes.len(), 2);
         assert!(outcomes.iter().all(|o| o.experiments > 0));
+    }
+
+    #[test]
+    fn campaign_matrix_matches_per_cell_runs() {
+        // Two strategies × two seeds through the matrix equal the same four
+        // campaigns run individually: the pool changes scheduling, never
+        // results.
+        let budget = SimDuration::from_secs(900);
+        let configs = [
+            SearchConfig::random(0).with_budget(budget),
+            SearchConfig::collie(0).with_budget(budget),
+        ];
+        let mut cells = Vec::new();
+        for config in &configs {
+            for &seed in &[5u64, 6] {
+                cells.push(CampaignSpec::seeded(SubsystemId::F, config, seed));
+            }
+        }
+        let matrix = run_campaign_matrix(&cells, 2);
+        assert_eq!(matrix.len(), 4);
+        for (cell, (outcome, _)) in cells.iter().zip(&matrix) {
+            let mut engine = WorkloadEngine::for_catalog(cell.subsystem);
+            let space = SearchSpace::for_host(&cell.subsystem.host());
+            let solo = collie_core::search::run_search(&mut engine, &space, &cell.config);
+            assert_eq!(&solo, outcome, "{}", cell.config.label());
+        }
     }
 
     #[test]

@@ -112,6 +112,13 @@ impl WorkloadEngine {
     }
 
     /// Run one experiment for the point and return the measurement.
+    ///
+    /// **Determinism contract:** for a fixed subsystem configuration this is
+    /// a pure function of `point` — `Subsystem::evaluate` resets all counter
+    /// and switch state on entry — which is what allows
+    /// [`Evaluator`](crate::eval::Evaluator) to substitute a cached
+    /// measurement for a recompute. Anything that makes `measure` stateful
+    /// (e.g. history-dependent counters) must invalidate that cache.
     pub fn measure(&mut self, point: &SearchPoint) -> Measurement {
         let workload = self.translate(point);
         self.subsystem.evaluate(&workload)

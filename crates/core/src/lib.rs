@@ -12,6 +12,10 @@
 //! * [`engine`] — the workload engine: translates a search point into the
 //!   flow-level workload the subsystem model evaluates (and, for
 //!   validation, into actual verbs calls against the simulated fabric).
+//! * [`eval`] — the memoized evaluation layer: a [`SearchPoint`]-keyed memo
+//!   cache over the engine that every campaign routes its experiments
+//!   through, so revisited workloads skip the flow-model recompute while
+//!   still being charged their simulated hardware cost.
 //! * [`monitor`] — the anomaly monitor: the pause-ratio and
 //!   throughput-versus-spec detection conditions of §5.2, plus the minimal
 //!   feature set (MFS) algorithm that extracts each anomaly's triggering
@@ -41,6 +45,7 @@
 pub mod advisor;
 pub mod catalog;
 pub mod engine;
+pub mod eval;
 pub mod mitigation;
 pub mod monitor;
 pub mod report;
@@ -50,6 +55,7 @@ pub mod space;
 pub use advisor::{Advisor, Suggestion};
 pub use catalog::KnownAnomaly;
 pub use engine::WorkloadEngine;
+pub use eval::{EvalStats, Evaluator};
 pub use mitigation::{Mitigation, MitigationKind, RemediationPlan};
 pub use monitor::{AnomalyMonitor, AnomalyVerdict, Mfs, Symptom};
 pub use search::{SearchConfig, SearchOutcome, SearchStrategy, SignalMode};

@@ -149,21 +149,20 @@ impl AnomalyMonitor {
     }
 
     /// Run the paper's measurement procedure: sample the experiment
-    /// `samples_per_iteration` times, average the primary metrics, and
-    /// assess. (The simulator is deterministic, so the averaging exists for
-    /// procedural fidelity and for monitors wrapping noisy subsystems.)
+    /// `samples_per_iteration` times and assess. (The simulator is
+    /// deterministic, so the repeats exist for procedural fidelity; a
+    /// monitor wrapping a noisy subsystem would average them.)
+    ///
+    /// This is the uncached convenience for one-off assessments; campaigns
+    /// run the same procedure through their shared memo cache via
+    /// [`Evaluator::measure_and_assess`](crate::eval::Evaluator), to which
+    /// this delegates so there is exactly one sampling loop.
     pub fn measure_and_assess(
         &self,
         engine: &mut crate::engine::WorkloadEngine,
         point: &crate::space::SearchPoint,
     ) -> (Measurement, AnomalyVerdict) {
-        let mut last = None;
-        for _ in 0..self.samples_per_iteration.max(1) {
-            last = Some(engine.measure(point));
-        }
-        let measurement = last.expect("at least one sample");
-        let verdict = self.assess(&measurement, &engine.subsystem().rnic);
-        (measurement, verdict)
+        crate::eval::Evaluator::uncached(engine).measure_and_assess(self, point)
     }
 }
 

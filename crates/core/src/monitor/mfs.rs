@@ -18,6 +18,7 @@
 
 use super::anomaly::{AnomalyMonitor, Symptom};
 use crate::engine::WorkloadEngine;
+use crate::eval::Evaluator;
 use crate::space::{Feature, FeatureValue, SearchPoint, SearchSpace};
 use collie_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -125,8 +126,15 @@ fn dominant_diag_counter(measurement: &collie_rnic::subsystem::Measurement) -> O
 }
 
 /// Extracts MFSes by probing the subsystem.
-pub struct MfsExtractor<'a> {
-    engine: &'a mut WorkloadEngine,
+///
+/// Probes run through a shared [`Evaluator`], which matters for cost: the
+/// extractor is the heaviest revisiter in a campaign — it re-measures the
+/// anomalous point it was handed (the search just measured it) and its
+/// single-feature neighbourhoods overlap across extractions — so routing it
+/// through the campaign's memo cache removes most of its recompute while
+/// the simulated probe cost keeps being charged.
+pub struct MfsExtractor<'a, 'e> {
+    evaluator: &'a mut Evaluator<'e>,
     monitor: &'a AnomalyMonitor,
     space: &'a SearchSpace,
     /// Maximum alternatives probed per categorical feature.
@@ -147,15 +155,15 @@ pub struct ExtractionOutcome {
     pub elapsed: SimDuration,
 }
 
-impl<'a> MfsExtractor<'a> {
-    /// A new extractor bound to an engine, monitor, and space.
+impl<'a, 'e> MfsExtractor<'a, 'e> {
+    /// A new extractor bound to an evaluator, monitor, and space.
     pub fn new(
-        engine: &'a mut WorkloadEngine,
+        evaluator: &'a mut Evaluator<'e>,
         monitor: &'a AnomalyMonitor,
         space: &'a SearchSpace,
     ) -> Self {
         MfsExtractor {
-            engine,
+            evaluator,
             monitor,
             space,
             // §5.2: "we just do a few tests on each dimension". Two
@@ -180,6 +188,10 @@ impl<'a> MfsExtractor<'a> {
     /// anomaly, not evidence that the transport does not matter). Both
     /// parts of the signature are observable without any hardware
     /// knowledge, exactly like the counters the search itself uses.
+    ///
+    /// Probes are ordinary monitored iterations, so they follow the §6
+    /// four-sample procedure; the shared evaluator's cache makes the
+    /// repeats free.
     fn probe(
         &mut self,
         point: &SearchPoint,
@@ -188,10 +200,7 @@ impl<'a> MfsExtractor<'a> {
     ) -> bool {
         counters.0 += 1;
         counters.1 += WorkloadEngine::experiment_cost(point);
-        let measurement = self.engine.measure(point);
-        let verdict = self
-            .monitor
-            .assess(&measurement, &self.engine.subsystem().rnic);
+        let (measurement, verdict) = self.evaluator.measure_and_assess(self.monitor, point);
         if verdict.symptom != Some(signature.symptom) {
             return false;
         }
@@ -211,7 +220,7 @@ impl<'a> MfsExtractor<'a> {
         // compared against.
         cost.0 += 1;
         cost.1 += WorkloadEngine::experiment_cost(anomalous);
-        let reference = self.engine.measure(anomalous);
+        let reference = self.evaluator.measure(anomalous);
         let signature = ReproductionSignature {
             symptom,
             dominant_counter: dominant_diag_counter(&reference),
@@ -393,11 +402,12 @@ mod tests {
         let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
         let monitor = AnomalyMonitor::new();
         let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let mut evaluator = Evaluator::new(&mut engine);
         let symptom = {
-            let (_, verdict) = monitor.measure_and_assess(&mut engine, point);
+            let (_, verdict) = evaluator.measure_and_assess(&monitor, point);
             verdict.symptom.expect("point must be anomalous")
         };
-        let mut extractor = MfsExtractor::new(&mut engine, &monitor, &space);
+        let mut extractor = MfsExtractor::new(&mut evaluator, &monitor, &space);
         extractor.extract(point, symptom)
     }
 

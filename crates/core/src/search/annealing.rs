@@ -63,7 +63,7 @@ fn anneal_one_counter(campaign: &mut Campaign<'_>, target: &str) {
             // Lines 14–17: a new anomaly restarts the walk from a random
             // point so the schedule keeps exploring.
             if campaign_discovery_count(campaign) > discoveries_before {
-                current = campaign.space.random_point(&mut campaign.rng);
+                current = draw_restart_point(campaign);
                 if let Some(m) = campaign.measure(&current) {
                     current_value = campaign.signal_value(&m, Some(target));
                 }
@@ -91,13 +91,67 @@ fn campaign_discovery_count(campaign: &Campaign<'_>) -> usize {
     campaign.discovery_count()
 }
 
+/// Bounded re-draws applied to the line-17 restart.
+const MAX_RESTART_REDRAWS: usize = 8;
+
+/// Draw the fresh random point a discovery restarts the walk from.
+///
+/// Algorithm 1 line 5 applies to the restart too: a random draw can land
+/// inside the MFS that was just extracted (its region is by construction a
+/// productive part of the space), and measuring it would both waste an
+/// experiment and re-flag a known anomaly. Re-draw — bounded, so a set of
+/// MFSes that happens to cover most of the space cannot livelock the
+/// schedule — until the point is uncovered.
+fn draw_restart_point(campaign: &mut Campaign<'_>) -> crate::space::SearchPoint {
+    let mut point = campaign.space.random_point(&mut campaign.rng);
+    for _ in 0..MAX_RESTART_REDRAWS {
+        if !campaign.matches_known_mfs(&point) {
+            return point;
+        }
+        point = campaign.space.random_point(&mut campaign.rng);
+    }
+    point
+}
+
 #[cfg(test)]
 mod tests {
+    use super::super::campaign::Campaign;
+    use super::draw_restart_point;
     use crate::engine::WorkloadEngine;
+    use crate::monitor::{AnomalyMonitor, FeatureCondition, Mfs, Symptom};
     use crate::search::{run_search, SearchConfig, SignalMode};
-    use crate::space::SearchSpace;
+    use crate::space::{Feature, SearchPoint, SearchSpace};
     use collie_rnic::subsystems::SubsystemId;
     use collie_sim::time::SimDuration;
+
+    #[test]
+    fn restart_points_avoid_known_mfs_regions() {
+        // Algorithm 1 line 5 applies to the line-17 restart: after a
+        // discovery, the fresh random point must not sit inside an
+        // already-extracted MFS (the walk would restart right where it just
+        // finished). Plant an MFS covering a large slice of the space and
+        // check that restart draws consistently land outside it.
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let monitor = AnomalyMonitor::new();
+        let config = SearchConfig::collie(9);
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut conditions = std::collections::BTreeMap::new();
+        conditions.insert(Feature::WqeBatch, FeatureCondition::AtLeast(16));
+        let planted = Mfs {
+            symptom: Symptom::PauseStorm,
+            conditions,
+            example: SearchPoint::benign(),
+        };
+        campaign.plant_mfs(planted.clone());
+        for _ in 0..25 {
+            let point = draw_restart_point(&mut campaign);
+            assert!(
+                !planted.matches(&point),
+                "restart landed inside a known MFS: {point}"
+            );
+        }
+    }
 
     #[test]
     fn annealing_with_diag_counters_finds_multiple_distinct_anomalies() {

@@ -9,10 +9,10 @@
 //! paper's evaluation makes.
 
 use crate::engine::WorkloadEngine;
+use crate::eval::{EvalStats, Evaluator};
 use crate::monitor::{AnomalyMonitor, Mfs, MfsExtractor, Symptom};
 use crate::search::{SearchConfig, SignalMode};
 use crate::space::{SearchPoint, SearchSpace};
-use collie_rnic::counters::diag;
 use collie_rnic::subsystem::Measurement;
 use collie_sim::counters::CounterKind;
 use collie_sim::rng::SimRng;
@@ -65,8 +65,11 @@ pub struct SearchOutcome {
     /// First-trigger times of every catalogued anomaly hit by a measured
     /// experiment (scoring only; see [`RuleHit`]).
     pub rule_hits: Vec<RuleHit>,
-    /// Trace of the receive-WQE-cache-miss diagnostic counter over the
-    /// campaign (the Figure-6 series), with anomaly markers.
+    /// Trace of the campaign's signal-mode counter over the campaign, with
+    /// anomaly markers: the receive-WQE-cache-miss diagnostic counter for
+    /// diagnostic-mode campaigns (the Figure-6 series), the receive-side
+    /// throughput gauge for performance-mode campaigns (see
+    /// [`SignalMode::traced_counter`]).
     pub trace: TimeSeries,
     /// Experiments actually run (skipped points are free).
     pub experiments: u32,
@@ -135,11 +138,12 @@ impl SearchOutcome {
 
 /// Mutable state shared by every strategy.
 pub(crate) struct Campaign<'a> {
-    pub(crate) engine: &'a mut WorkloadEngine,
+    evaluator: Evaluator<'a>,
     pub(crate) space: &'a SearchSpace,
     pub(crate) monitor: &'a AnomalyMonitor,
     pub(crate) config: &'a SearchConfig,
     pub(crate) rng: SimRng,
+    traced_counter: &'static str,
     elapsed: SimDuration,
     experiments: u32,
     skipped: u32,
@@ -157,12 +161,19 @@ impl<'a> Campaign<'a> {
         monitor: &'a AnomalyMonitor,
         config: &'a SearchConfig,
     ) -> Self {
+        let evaluator = if config.memoize {
+            Evaluator::new(engine)
+        } else {
+            Evaluator::uncached(engine)
+        };
+        let traced_counter = config.signal.traced_counter();
         Campaign {
-            engine,
+            evaluator,
             space,
             monitor,
             config,
             rng: SimRng::new(config.seed),
+            traced_counter,
             elapsed: SimDuration::ZERO,
             experiments: 0,
             skipped: 0,
@@ -170,7 +181,7 @@ impl<'a> Campaign<'a> {
             rule_hits: Vec::new(),
             hit_rules: BTreeSet::new(),
             mfs_set: Vec::new(),
-            trace: TimeSeries::new(diag::RECV_WQE_CACHE_MISS),
+            trace: TimeSeries::new(traced_counter),
         }
     }
 
@@ -204,20 +215,21 @@ impl<'a> Campaign<'a> {
     /// — if the point is anomalous — extract its MFS and log the discovery.
     /// Returns the measurement (for the caller to read its guiding counter)
     /// or `None` if the budget ran out before the experiment could run.
+    ///
+    /// Measurement follows the monitor's §6 procedure (four samples per
+    /// iteration); the evaluator's memo cache answers the repeat samples,
+    /// so the fidelity costs one flow-model evaluation, not four.
     pub(crate) fn measure(&mut self, point: &SearchPoint) -> Option<Measurement> {
         if self.out_of_budget() {
             return None;
         }
         self.elapsed += WorkloadEngine::experiment_cost(point);
         self.experiments += 1;
-        let measurement = self.engine.measure(point);
-        let verdict = self
-            .monitor
-            .assess(&measurement, &self.engine.subsystem().rnic);
+        let (measurement, verdict) = self.evaluator.measure_and_assess(self.monitor, point);
 
         let trace_value = measurement
             .counters
-            .value(diag::RECV_WQE_CACHE_MISS)
+            .value(self.traced_counter)
             .unwrap_or(0.0);
         let now = SimTime::ZERO + self.elapsed;
         if let Some(symptom) = verdict.symptom {
@@ -234,7 +246,7 @@ impl<'a> Campaign<'a> {
     /// triggered by a measured experiment. Never consulted by the search.
     fn record_rule_hits(&mut self, point: &SearchPoint) {
         let at = self.elapsed;
-        for rule in self.engine.ground_truth(point) {
+        for rule in self.evaluator.ground_truth(point) {
             if self.hit_rules.insert(rule.to_string()) {
                 self.rule_hits.push(RuleHit {
                     at,
@@ -246,13 +258,21 @@ impl<'a> Campaign<'a> {
 
     fn handle_anomaly(&mut self, point: &SearchPoint, symptom: Symptom) {
         // Already covered by a known MFS? Then this is a redundant sighting
-        // of an anomaly we have, not a new discovery.
-        if self.mfs_set.iter().any(|m| m.matches(point)) {
+        // of an anomaly we have, not a new discovery. An *empty* MFS matches
+        // vacuously and must not take part in this dedup — one degenerate
+        // extraction would otherwise mark every later anomaly redundant and
+        // silence the rest of the campaign (same guard as
+        // [`Campaign::matches_known_mfs`]).
+        if self
+            .mfs_set
+            .iter()
+            .any(|m| !m.is_empty() && m.matches(point))
+        {
             return;
         }
         let found_at = self.elapsed;
         let outcome = {
-            let mut extractor = MfsExtractor::new(self.engine, self.monitor, self.space);
+            let mut extractor = MfsExtractor::new(&mut self.evaluator, self.monitor, self.space);
             extractor.extract(point, symptom)
         };
         // MFS extraction takes real experiments on real hardware; charge
@@ -263,7 +283,7 @@ impl<'a> Campaign<'a> {
         self.trace.record(SimTime::ZERO + self.elapsed, trace_value);
 
         let matched_rules = self
-            .engine
+            .evaluator
             .ground_truth(point)
             .into_iter()
             .map(|r| r.to_string())
@@ -317,7 +337,7 @@ impl<'a> Campaign<'a> {
             SignalMode::Diagnostic => CounterKind::Diagnostic,
         };
         let names: Vec<String> = self
-            .engine
+            .evaluator
             .subsystem()
             .registry()
             .names(kind)
@@ -347,6 +367,18 @@ impl<'a> Campaign<'a> {
     /// last measurement uncovered something new and restart their walk).
     pub(crate) fn discovery_count(&self) -> usize {
         self.discoveries.len()
+    }
+
+    /// Cache statistics of the campaign's evaluator.
+    pub(crate) fn eval_stats(&self) -> EvalStats {
+        self.evaluator.stats()
+    }
+
+    /// Test hook: plant an already-extracted MFS as if a previous discovery
+    /// had produced it.
+    #[cfg(test)]
+    pub(crate) fn plant_mfs(&mut self, mfs: Mfs) {
+        self.mfs_set.push(mfs);
     }
 
     /// Finish the campaign and hand back the outcome.
@@ -472,6 +504,87 @@ mod tests {
         };
         assert_eq!(outcome.time_to_find(1), None);
         assert!(outcome.milestones().is_empty());
+    }
+
+    #[test]
+    fn an_empty_mfs_does_not_suppress_later_discoveries() {
+        // Regression: `Mfs::matches` is vacuously true when `conditions` is
+        // empty, and the discovery dedup used to consult it without the
+        // `!is_empty()` guard that `matches_known_mfs` applies — one
+        // degenerate extraction marked every later anomaly a "redundant
+        // sighting" and silenced the rest of the campaign.
+        let (mut engine, space, monitor, config) = setup();
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        campaign.plant_mfs(Mfs {
+            symptom: Symptom::PauseStorm,
+            conditions: std::collections::BTreeMap::new(),
+            example: SearchPoint::benign(),
+        });
+        let mut point = SearchPoint::benign();
+        point.transport = Transport::Ud;
+        point.opcode = Opcode::Send;
+        point.wqe_batch = 64;
+        point.recv_queue_depth = 256;
+        point.mtu = 2048;
+        point.messages = vec![2048];
+        // The empty MFS matches everything, but neither the skip nor the
+        // dedup may consult it.
+        assert!(!campaign.matches_known_mfs(&point));
+        campaign.measure(&point).unwrap();
+        let outcome = campaign.finish();
+        assert_eq!(
+            outcome.discoveries.len(),
+            1,
+            "an empty MFS must not mark new anomalies redundant"
+        );
+        assert_eq!(outcome.skipped_by_mfs, 0);
+    }
+
+    #[test]
+    fn diagnostic_mode_traces_the_figure6_counter() {
+        let (mut engine, space, monitor, config) = setup();
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        campaign.measure(&SearchPoint::benign()).unwrap();
+        let outcome = campaign.finish();
+        assert_eq!(
+            outcome.trace.name(),
+            collie_rnic::counters::diag::RECV_WQE_CACHE_MISS
+        );
+    }
+
+    #[test]
+    fn performance_mode_traces_the_throughput_gauge() {
+        // A performance-mode campaign only has generic counters, so its
+        // trace records the receive-side throughput gauge instead of a
+        // vendor diagnostic counter (see `SignalMode::traced_counter`).
+        let (mut engine, space, monitor, _) = setup();
+        let config = SearchConfig::collie(3).with_signal(SignalMode::Performance);
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        campaign.measure(&SearchPoint::benign()).unwrap();
+        let outcome = campaign.finish();
+        assert_eq!(
+            outcome.trace.name(),
+            collie_rnic::counters::perf::RX_BYTES_PER_SEC
+        );
+        assert!(
+            outcome.trace.samples()[0].value > 0.0,
+            "a benign point moves real bytes"
+        );
+    }
+
+    #[test]
+    fn repeated_measurements_are_served_from_the_memo_cache() {
+        let (mut engine, space, monitor, config) = setup();
+        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let point = SearchPoint::benign();
+        campaign.measure(&point).unwrap();
+        campaign.measure(&point).unwrap();
+        let stats = campaign.eval_stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+        // The repeat still charged its simulated cost and experiment count.
+        let outcome = campaign.finish();
+        assert_eq!(outcome.experiments, 2);
+        assert!(outcome.elapsed >= SimDuration::from_secs(40));
     }
 
     #[test]

@@ -39,6 +39,23 @@ pub enum SignalMode {
     Diagnostic,
 }
 
+impl SignalMode {
+    /// The counter recorded in a campaign's Figure-6 style trace.
+    ///
+    /// Diagnostic campaigns trace the receive-WQE-cache-miss counter, which
+    /// is exactly the series the paper's Figure 6 plots. A performance-mode
+    /// campaign has no business tracing a vendor diagnostic counter (the
+    /// whole premise of the mode is that only generic counters exist), so it
+    /// traces the receive-side throughput gauge instead — the signal that
+    /// collapses when such a campaign steers into an anomaly.
+    pub fn traced_counter(self) -> &'static str {
+        match self {
+            SignalMode::Performance => collie_rnic::counters::perf::RX_BYTES_PER_SEC,
+            SignalMode::Diagnostic => collie_rnic::counters::diag::RECV_WQE_CACHE_MISS,
+        }
+    }
+}
+
 /// Which search algorithm explores the space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SearchStrategy {
@@ -74,6 +91,12 @@ pub struct SearchConfig {
     /// Whether the minimal-feature-set skip is applied (the "w/o MFS"
     /// ablation of Figure 5 turns this off).
     pub use_mfs: bool,
+    /// Whether measurements are memoized by the campaign's
+    /// [`Evaluator`](crate::eval::Evaluator). Memoization only skips the
+    /// flow-model recompute — simulated hardware cost is charged either way
+    /// — so the [`SearchOutcome`] is bit-identical with it on or off; the
+    /// toggle exists for the cache-ablation bench and identity tests.
+    pub memoize: bool,
     /// Seed for the campaign's randomness.
     pub seed: u64,
     /// Total simulated wall-clock budget (the paper runs each search for
@@ -98,6 +121,7 @@ impl SearchConfig {
             strategy: SearchStrategy::SimulatedAnnealing,
             signal: SignalMode::Diagnostic,
             use_mfs: true,
+            memoize: true,
             seed,
             budget: SimDuration::from_secs(10 * 3600),
             initial_temperature: 1.0,
@@ -141,6 +165,13 @@ impl SearchConfig {
         self
     }
 
+    /// Enable or disable measurement memoization (on by default; turning it
+    /// off is the uncached reference path of the evaluation-cache bench).
+    pub fn with_memoization(mut self, memoize: bool) -> SearchConfig {
+        self.memoize = memoize;
+        self
+    }
+
     /// A descriptive label such as "Collie(Diag)" or "BO w/o MFS(Perf)".
     pub fn label(&self) -> String {
         let signal = match self.signal {
@@ -161,6 +192,17 @@ pub fn run_search(
     space: &SearchSpace,
     config: &SearchConfig,
 ) -> SearchOutcome {
+    run_search_with_stats(engine, space, config).0
+}
+
+/// Run one search campaign and also report the evaluation-cache statistics
+/// (the outcome itself is independent of the cache; the stats are what the
+/// harness logs to quantify the memoization win).
+pub fn run_search_with_stats(
+    engine: &mut WorkloadEngine,
+    space: &SearchSpace,
+    config: &SearchConfig,
+) -> (SearchOutcome, crate::eval::EvalStats) {
     let monitor = AnomalyMonitor::new();
     let mut campaign = Campaign::new(engine, space, &monitor, config);
     match config.strategy {
@@ -168,7 +210,8 @@ pub fn run_search(
         SearchStrategy::Bayesian => bayesian::run(&mut campaign),
         SearchStrategy::SimulatedAnnealing => annealing::run(&mut campaign),
     }
-    campaign.finish()
+    let stats = campaign.eval_stats();
+    (campaign.finish(), stats)
 }
 
 #[cfg(test)]

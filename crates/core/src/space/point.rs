@@ -12,7 +12,11 @@ use std::fmt;
 /// The workload engine translates a point into the flow-level
 /// [`WorkloadSpec`](collie_rnic::workload::WorkloadSpec) the subsystem model
 /// evaluates; the MFS algorithm perturbs points one [`Feature`] at a time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Points are plain value types (`Eq + Hash`), which is what lets the
+/// [`Evaluator`](crate::eval::Evaluator) memoize measurements keyed by the
+/// canonical point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SearchPoint {
     /// Dimension 1: memory the sender reads payloads from.
     pub src_memory: MemoryTarget,

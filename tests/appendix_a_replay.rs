@@ -105,8 +105,10 @@ fn old_and_new_anomalies_are_partitioned_as_in_the_paper() {
 /// anomaly disappear.
 #[test]
 fn breaking_a_documented_necessary_condition_untriggers_the_anomaly() {
+    /// A mutation that breaks one necessary condition of an anomaly.
+    type ConditionBreaker = Box<dyn Fn(&mut SearchPoint)>;
     // (anomaly id, mutation that breaks one necessary condition)
-    let break_one: Vec<(u32, Box<dyn Fn(&mut SearchPoint)>)> = vec![
+    let break_one: Vec<(u32, ConditionBreaker)> = vec![
         // #1: WQE batch >= 64 is necessary.
         (1, Box::new(|p: &mut SearchPoint| p.wqe_batch = 4)),
         // #2: work queue >= 1024 is necessary.

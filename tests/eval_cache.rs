@@ -1,0 +1,67 @@
+//! Integration test: the memoized evaluation layer.
+//!
+//! The acceptance property of the evaluation cache is that it is *free* at
+//! the semantics level: a `SearchConfig::collie` campaign on subsystem F
+//! with memoization on produces a bit-identical `SearchOutcome` — same
+//! discoveries, same milestones, same elapsed simulated time, same trace —
+//! as the uncached reference path, while answering a substantial share of
+//! its measurements from the cache instead of the flow model.
+
+use collie::prelude::*;
+use std::time::Instant;
+
+fn campaign(memoize: bool) -> (SearchOutcome, collie::core::eval::EvalStats, f64) {
+    let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+    let space = SearchSpace::for_host(&SubsystemId::F.host());
+    let config = SearchConfig::collie(17)
+        .with_budget(SimDuration::from_secs(2 * 3600))
+        .with_memoization(memoize);
+    let started = Instant::now();
+    let (outcome, stats) =
+        collie::core::search::run_search_with_stats(&mut engine, &space, &config);
+    (outcome, stats, started.elapsed().as_secs_f64())
+}
+
+#[test]
+fn memoized_campaign_is_bit_identical_to_the_uncached_path() {
+    let (cached, cached_stats, cached_wall) = campaign(true);
+    let (uncached, uncached_stats, uncached_wall) = campaign(false);
+
+    // Bit-identical outcome: memoization only skips the flow-model
+    // recompute, never the simulated cost accounting or the search path.
+    assert_eq!(cached, uncached);
+
+    // The cache did real work: the collie campaign revisits points (the
+    // extractor re-measures each anomalous point, annealing re-proposes
+    // recent neighbours), so hits must show up...
+    assert!(
+        cached_stats.hits > 0,
+        "memoized campaign never hit the cache: {cached_stats:?}"
+    );
+    // ...and every hit is one flow-model evaluation the uncached path paid.
+    assert_eq!(uncached_stats.hits, 0);
+    assert_eq!(
+        uncached_stats.misses,
+        cached_stats.hits + cached_stats.misses,
+        "both paths must issue the same measurement sequence"
+    );
+
+    // Wall-clock is logged, not asserted (debug builds and CI noise make a
+    // timing assertion flaky); EXPERIMENTS.md records the release numbers.
+    eprintln!(
+        "eval cache: {} hits / {} misses ({:.0}% hit rate); wall-clock {:.3} s memoized vs {:.3} s uncached",
+        cached_stats.hits,
+        cached_stats.misses,
+        cached_stats.hit_rate() * 100.0,
+        cached_wall,
+        uncached_wall,
+    );
+}
+
+#[test]
+fn memoization_is_on_by_default_for_paper_configs() {
+    assert!(SearchConfig::collie(1).memoize);
+    assert!(SearchConfig::random(1).memoize);
+    assert!(SearchConfig::bayesian(1).memoize);
+    assert!(!SearchConfig::collie(1).with_memoization(false).memoize);
+}

@@ -30,10 +30,7 @@ fn point_from_seed(seed: u64) -> SearchPoint {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     #[test]
     fn sampled_points_are_well_formed_and_mutation_preserves_validity(seed in any::<u64>()) {
@@ -136,10 +133,7 @@ proptest! {
 proptest! {
     // MFS extraction runs dozens of probe experiments per case, so keep the
     // case count lower than the cheap invariants above.
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     #[test]
     fn extracted_mfs_matches_its_own_example(anomaly_id in 1u32..=18) {
@@ -151,8 +145,9 @@ proptest! {
         let (_, verdict) = monitor.measure_and_assess(&mut engine, &anomaly.trigger);
         prop_assert_eq!(verdict.symptom, Some(anomaly.symptom));
 
+        let mut evaluator = collie::core::eval::Evaluator::new(&mut engine);
         let mut extractor =
-            collie::core::monitor::MfsExtractor::new(&mut engine, &monitor, &space);
+            collie::core::monitor::MfsExtractor::new(&mut evaluator, &monitor, &space);
         let outcome = extractor.extract(&anomaly.trigger, anomaly.symptom);
 
         // The anomalous point satisfies its own MFS.

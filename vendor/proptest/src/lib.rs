@@ -291,7 +291,7 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig { cases: 32 })]
 
         #[test]
         fn ranges_stay_in_bounds(v in 5u32..=9) {
