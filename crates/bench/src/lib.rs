@@ -14,8 +14,9 @@
 
 use collie_core::engine::WorkloadEngine;
 use collie_core::eval::EvalStats;
+use collie_core::fabric::{run_fabric_search_with_stats, FabricEngine, FabricOutcome};
 use collie_core::search::{run_search_with_stats, SearchConfig, SearchOutcome};
-use collie_core::space::SearchSpace;
+use collie_core::space::{FabricSpace, SearchSpace};
 use collie_rnic::subsystems::SubsystemId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -107,6 +108,22 @@ pub fn run_campaign_matrix(
         let mut engine = WorkloadEngine::for_catalog(cell.subsystem);
         let space = SearchSpace::for_host(&cell.subsystem.host());
         run_search_with_stats(&mut engine, &space, &cell.config)
+    })
+}
+
+/// Run every cell of a *fabric* campaign matrix on a bounded worker pool,
+/// returning `(outcome, eval-cache stats)` per cell in matrix order. A
+/// fabric cell is an ordinary [`CampaignSpec`] — only the runner differs:
+/// the cell's subsystem host is scaled out into the homogeneous fleet and
+/// the configuration drives the fabric search.
+pub fn run_fabric_campaign_matrix(
+    cells: &[CampaignSpec],
+    workers: usize,
+) -> Vec<(FabricOutcome, EvalStats)> {
+    parallel_map(cells, workers, |cell| {
+        let mut engine = FabricEngine::for_catalog(cell.subsystem);
+        let space = FabricSpace::for_host(&cell.subsystem.host());
+        run_fabric_search_with_stats(&mut engine, &space, &cell.config)
     })
 }
 
@@ -267,5 +284,29 @@ mod tests {
     fn fmt_minutes_handles_missing() {
         assert_eq!(fmt_minutes(Some(12.34)), "12.3");
         assert_eq!(fmt_minutes(None), "not found");
+    }
+
+    #[test]
+    fn fabric_matrix_matches_per_cell_runs() {
+        // Fabric campaigns through the pool equal the same campaigns run
+        // individually: scheduling never changes results.
+        let budget = SimDuration::from_secs(1800);
+        let configs = [
+            SearchConfig::random(0).with_budget(budget),
+            SearchConfig::collie(0).with_budget(budget),
+        ];
+        let cells: Vec<CampaignSpec> = configs
+            .iter()
+            .map(|config| CampaignSpec::seeded(SubsystemId::F, config, 5))
+            .collect();
+        let matrix = run_fabric_campaign_matrix(&cells, 2);
+        assert_eq!(matrix.len(), 2);
+        for (cell, (outcome, _)) in cells.iter().zip(&matrix) {
+            let mut engine = FabricEngine::for_catalog(cell.subsystem);
+            let space = FabricSpace::for_host(&cell.subsystem.host());
+            let solo = collie_core::fabric::run_fabric_search(&mut engine, &space, &cell.config);
+            assert_eq!(&solo, outcome, "{}", cell.config.label());
+            assert!(outcome.experiments > 0);
+        }
     }
 }

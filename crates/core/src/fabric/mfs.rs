@@ -1,0 +1,374 @@
+//! Minimal feature sets over the fabric space.
+//!
+//! Same algorithm as the two-host extractor
+//! ([`MfsExtractor`](crate::monitor::MfsExtractor)), lifted to
+//! [`FabricFeature`]: every coordinate — the culprit workload's fifteen
+//! features *and* the three fabric dimensions — is probed for necessity, so
+//! a cross-host MFS can state conditions like "at least 3 hosts" or
+//! "incast degree at least 2" alongside the usual transport conditions.
+//!
+//! A probe "reproduces" the anomaly when it shows the same observable
+//! identity: the same end-to-end symptom *and* the same cross-host
+//! classification. Requiring the classification to match keeps a genuine
+//! victim-collapse anomaly from being blurred into the (operationally very
+//! different) self-evident local storm when a probe merely pushes the
+//! culprit over its own throughput threshold.
+
+use super::{FabricEngine, FabricEvaluator, FabricVerdict};
+use crate::monitor::{AnomalyMonitor, FeatureCondition, Symptom};
+use crate::space::{FabricFeature, FabricPoint, FabricSpace, FeatureValue};
+use collie_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fabric minimal feature set: the necessary conditions to reproduce one
+/// cross-host anomaly, plus an example fabric point that does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricMfs {
+    /// The end-to-end symptom.
+    pub symptom: Symptom,
+    /// Whether the anomaly carries the cross-host hallmark (victim
+    /// collapsed, culprit healthy).
+    pub cross_host: bool,
+    /// The necessary conditions, keyed by fabric feature.
+    pub conditions: BTreeMap<FabricFeature, FeatureCondition>,
+    /// A concrete fabric point that reproduces the anomaly.
+    pub example: FabricPoint,
+}
+
+impl FabricMfs {
+    /// True if `point` satisfies every condition of this MFS.
+    pub fn matches(&self, point: &FabricPoint) -> bool {
+        self.conditions.iter().all(|(feature, condition)| {
+            let value = point.feature_value(*feature);
+            match condition {
+                FeatureCondition::Equals(expected) => &value == expected,
+                FeatureCondition::AtLeast(threshold) => match value {
+                    FeatureValue::Number(n) => n >= *threshold,
+                    _ => false,
+                },
+                FeatureCondition::AtMost(threshold) => match value {
+                    FeatureValue::Number(n) => n <= *threshold,
+                    _ => false,
+                },
+            }
+        })
+    }
+
+    /// Human-readable condition list.
+    pub fn describe(&self) -> String {
+        let mut lines: Vec<String> = self
+            .conditions
+            .iter()
+            .map(|(f, c)| format!("{f} {c}"))
+            .collect();
+        lines.sort();
+        let hallmark = if self.cross_host { ", cross-host" } else { "" };
+        format!("[{}{hallmark}] {}", self.symptom, lines.join("; "))
+    }
+
+    /// Number of necessary conditions.
+    pub fn len(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// True if no condition was found necessary (kept total for
+    /// robustness; empty MFSes never participate in campaign dedup).
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+}
+
+/// The observable identity probes are compared against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FabricSignature {
+    symptom: Symptom,
+    cross_host: bool,
+}
+
+impl FabricSignature {
+    fn matches(self, verdict: &FabricVerdict) -> bool {
+        verdict.symptom == Some(self.symptom) && verdict.cross_host == self.cross_host
+    }
+}
+
+/// The result of one fabric extraction: the MFS plus the cost it incurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricExtractionOutcome {
+    /// The extracted minimal feature set.
+    pub mfs: FabricMfs,
+    /// Experiments spent probing.
+    pub experiments: u32,
+    /// Simulated wall-clock spent probing.
+    pub elapsed: SimDuration,
+}
+
+/// Extracts fabric MFSes by probing through a shared memoized evaluator.
+pub struct FabricMfsExtractor<'a, 'e> {
+    evaluator: &'a mut FabricEvaluator<'e>,
+    monitor: &'a AnomalyMonitor,
+    space: &'a FabricSpace,
+    /// Maximum alternatives probed per categorical feature.
+    pub max_alternatives: usize,
+    /// Maximum bisection steps per numeric feature.
+    pub max_bisection_steps: usize,
+}
+
+impl<'a, 'e> FabricMfsExtractor<'a, 'e> {
+    /// A new extractor bound to an evaluator, monitor, and fabric space.
+    pub fn new(
+        evaluator: &'a mut FabricEvaluator<'e>,
+        monitor: &'a AnomalyMonitor,
+        space: &'a FabricSpace,
+    ) -> Self {
+        FabricMfsExtractor {
+            evaluator,
+            monitor,
+            space,
+            max_alternatives: 2,
+            max_bisection_steps: 1,
+        }
+    }
+
+    fn probe(
+        &mut self,
+        point: &FabricPoint,
+        signature: FabricSignature,
+        cost: &mut (u32, SimDuration),
+    ) -> bool {
+        cost.0 += 1;
+        cost.1 += FabricEngine::experiment_cost(point);
+        let (_, verdict) = self.evaluator.measure_and_assess(self.monitor, point);
+        signature.matches(&verdict)
+    }
+
+    /// Extract the MFS of an anomalous fabric point.
+    pub fn extract(
+        &mut self,
+        anomalous: &FabricPoint,
+        symptom: Symptom,
+        cross_host: bool,
+    ) -> FabricExtractionOutcome {
+        let mut cost = (0u32, SimDuration::ZERO);
+        let signature = FabricSignature {
+            symptom,
+            cross_host,
+        };
+        let mut conditions = BTreeMap::new();
+
+        for feature in FabricFeature::all() {
+            match anomalous.feature_value(feature) {
+                FeatureValue::Number(current) => {
+                    if let Some(condition) =
+                        self.probe_numeric(anomalous, feature, current, signature, &mut cost)
+                    {
+                        conditions.insert(feature, condition);
+                    }
+                }
+                current => {
+                    if let Some(condition) =
+                        self.probe_categorical(anomalous, feature, current, signature, &mut cost)
+                    {
+                        conditions.insert(feature, condition);
+                    }
+                }
+            }
+        }
+
+        FabricExtractionOutcome {
+            mfs: FabricMfs {
+                symptom,
+                cross_host,
+                conditions,
+                example: anomalous.clone(),
+            },
+            experiments: cost.0,
+            elapsed: cost.1,
+        }
+    }
+
+    fn probe_categorical(
+        &mut self,
+        anomalous: &FabricPoint,
+        feature: FabricFeature,
+        current: FeatureValue,
+        signature: FabricSignature,
+        cost: &mut (u32, SimDuration),
+    ) -> Option<FeatureCondition> {
+        let alternatives = self.space.alternatives(anomalous, feature);
+        if alternatives.is_empty() {
+            return None;
+        }
+        for alt in alternatives.iter().take(self.max_alternatives) {
+            let mut probe = anomalous.clone();
+            probe.apply(feature, alt);
+            if self.probe(&probe, signature, cost) {
+                return None;
+            }
+        }
+        Some(FeatureCondition::Equals(current))
+    }
+
+    fn probe_numeric(
+        &mut self,
+        anomalous: &FabricPoint,
+        feature: FabricFeature,
+        current: u64,
+        signature: FabricSignature,
+        cost: &mut (u32, SimDuration),
+    ) -> Option<FeatureCondition> {
+        let ladder: Vec<u64> = self
+            .space
+            .alternatives(anomalous, feature)
+            .into_iter()
+            .filter_map(|v| match v {
+                FeatureValue::Number(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        if ladder.is_empty() {
+            return None;
+        }
+        let lowest = *ladder.iter().min().unwrap();
+        let highest = *ladder.iter().max().unwrap();
+
+        let triggers_at = |this: &mut Self, value: u64, cost: &mut (u32, SimDuration)| {
+            if value == current {
+                return true;
+            }
+            let mut probe = anomalous.clone();
+            probe.apply(feature, &FeatureValue::Number(value));
+            this.probe(&probe, signature, cost)
+        };
+
+        let low_triggers = triggers_at(self, lowest.min(current), cost);
+        let high_triggers = triggers_at(self, highest.max(current), cost);
+
+        match (low_triggers, high_triggers) {
+            (true, true) => None,
+            (false, true) => Some(FeatureCondition::AtLeast(
+                self.bisect(anomalous, feature, &ladder, current, signature, cost, true),
+            )),
+            (true, false) => Some(FeatureCondition::AtMost(
+                self.bisect(anomalous, feature, &ladder, current, signature, cost, false),
+            )),
+            (false, false) => Some(FeatureCondition::Equals(FeatureValue::Number(current))),
+        }
+    }
+
+    /// Coarse threshold search between the failing end of the ladder and
+    /// the current (triggering) value.
+    #[allow(clippy::too_many_arguments)]
+    fn bisect(
+        &mut self,
+        anomalous: &FabricPoint,
+        feature: FabricFeature,
+        ladder: &[u64],
+        current: u64,
+        signature: FabricSignature,
+        cost: &mut (u32, SimDuration),
+        at_least: bool,
+    ) -> u64 {
+        let mut candidates: Vec<u64> = ladder
+            .iter()
+            .copied()
+            .filter(|&v| if at_least { v < current } else { v > current })
+            .collect();
+        candidates.sort_unstable();
+        if at_least {
+            candidates.reverse();
+        }
+        let mut threshold = current;
+        for value in candidates.into_iter().take(self.max_bisection_steps) {
+            let mut probe = anomalous.clone();
+            probe.apply(feature, &FeatureValue::Number(value));
+            if self.probe(&probe, signature, cost) {
+                threshold = value;
+            } else {
+                break;
+            }
+        }
+        threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{cross_host_culprit, storming_culprit};
+    use super::*;
+    use crate::fabric::assess_fabric;
+    use collie_rnic::subsystems::SubsystemId;
+
+    fn extract_for(point: &FabricPoint) -> FabricExtractionOutcome {
+        let mut engine = FabricEngine::for_catalog(SubsystemId::F);
+        let monitor = AnomalyMonitor::new();
+        let space = FabricSpace::for_host(&SubsystemId::F.host());
+        let mut evaluator = FabricEvaluator::new(&mut engine);
+        let (_, verdict) = evaluator.measure_and_assess(&monitor, point);
+        let symptom = verdict.symptom.expect("point must be anomalous");
+        let mut extractor = FabricMfsExtractor::new(&mut evaluator, &monitor, &space);
+        extractor.extract(point, symptom, verdict.cross_host)
+    }
+
+    #[test]
+    fn cross_host_mfs_contains_fabric_conditions() {
+        let point = cross_host_culprit();
+        let outcome = extract_for(&point);
+        let mfs = &outcome.mfs;
+        assert!(mfs.cross_host);
+        assert!(mfs.matches(&point), "{}", mfs.describe());
+        // The cross-host hallmark needs a victim, hence a third host.
+        assert!(
+            matches!(
+                mfs.conditions.get(&FabricFeature::HostCount),
+                Some(FeatureCondition::AtLeast(t)) if *t >= 3
+            ),
+            "{}",
+            mfs.describe()
+        );
+        // Dropping to the two-host testbed breaks the match.
+        let mut two_host = point.clone();
+        two_host.host_count = 2;
+        assert!(!mfs.matches(&two_host));
+        assert!(outcome.experiments > 0);
+        assert!(outcome.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn local_storm_mfs_keeps_its_workload_conditions() {
+        let point = storming_culprit();
+        let outcome = extract_for(&point);
+        let mfs = &outcome.mfs;
+        assert!(!mfs.cross_host);
+        assert!(mfs.matches(&point), "{}", mfs.describe());
+        assert!(!mfs.is_empty());
+        // The local anomaly does not depend on the traffic shape staying
+        // fixed — only on a victim existing — so the describe string names
+        // at least one workload-side condition too.
+        assert!(
+            mfs.conditions
+                .keys()
+                .any(|f| matches!(f, FabricFeature::Workload(_))),
+            "{}",
+            mfs.describe()
+        );
+    }
+
+    #[test]
+    fn paired_probe_breaks_reproduction_so_shape_can_be_necessary() {
+        // The paired pattern isolates the storm; if both alternative shapes
+        // fail to reproduce, the extractor keeps the shape condition.
+        let point = cross_host_culprit();
+        let outcome = extract_for(&point);
+        let mut paired = point.clone();
+        paired.pattern = collie_rnic::fabric::TrafficPattern::Paired;
+        let mut engine = FabricEngine::for_catalog(SubsystemId::F);
+        let monitor = AnomalyMonitor::new();
+        let verdict = assess_fabric(&monitor, &engine.measure(&paired));
+        assert!(!verdict.cross_host);
+        // Whether or not the shape ends up in the conditions (ring and
+        // incast both reproduce), the extracted MFS must reject the paired
+        // variant if it lists the shape, and must still match the example.
+        assert!(outcome.mfs.matches(&point));
+    }
+}

@@ -38,6 +38,10 @@
 //!   rest must be avoided by changing the workload).
 //! * [`report`] — serialisable experiment records used by the benchmark
 //!   harness and EXPERIMENTS.md.
+//! * [`fabric`] — the multi-host extension: N hosts on one lossless
+//!   switch, PFC pause propagation to upstream ports, and fabric
+//!   campaigns that hunt cross-host victim-collapse anomalies over the
+//!   extended (workload + fabric) search space.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +50,7 @@ pub mod advisor;
 pub mod catalog;
 pub mod engine;
 pub mod eval;
+pub mod fabric;
 pub mod mitigation;
 pub mod monitor;
 pub mod report;
@@ -56,7 +61,8 @@ pub use advisor::{Advisor, Suggestion};
 pub use catalog::KnownAnomaly;
 pub use engine::WorkloadEngine;
 pub use eval::{EvalStats, Evaluator};
+pub use fabric::{FabricEngine, FabricEvaluator, FabricOutcome, FabricVerdict};
 pub use mitigation::{Mitigation, MitigationKind, RemediationPlan};
 pub use monitor::{AnomalyMonitor, AnomalyVerdict, Mfs, Symptom};
 pub use search::{SearchConfig, SearchOutcome, SearchStrategy, SignalMode};
-pub use space::{Feature, SearchPoint, SearchSpace};
+pub use space::{FabricPoint, FabricSpace, Feature, SearchPoint, SearchSpace};

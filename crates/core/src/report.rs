@@ -5,6 +5,7 @@
 //! outputs (the binaries print them as aligned text and as JSON so that
 //! EXPERIMENTS.md can quote them directly).
 
+use crate::fabric::FabricOutcome;
 use crate::monitor::Symptom;
 use crate::search::SearchOutcome;
 use collie_sim::stats::Summary;
@@ -140,6 +141,49 @@ pub fn time_to_find_rows(
         });
     }
     rows
+}
+
+/// One cell of the fabric campaign grid (the `fig7` binary): a strategy ×
+/// seed fabric campaign summarised for EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricGridRow {
+    /// Strategy label ("Random fabric", "Collie(Diag) fabric", …).
+    pub strategy: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Total anomalies discovered (MFS extracted per discovery).
+    pub discoveries: usize,
+    /// Discoveries carrying the cross-host hallmark (victim collapsed,
+    /// culprit healthy).
+    pub cross_host: usize,
+    /// Experiments run (including MFS probes).
+    pub experiments: u32,
+    /// Points skipped by the fabric MFS filter.
+    pub skipped_by_mfs: u32,
+    /// Simulated minutes consumed.
+    pub simulated_minutes: f64,
+    /// Simulated minutes until the first cross-host discovery, if any.
+    pub first_cross_host_minutes: Option<f64>,
+}
+
+impl FabricGridRow {
+    /// Summarise one fabric campaign outcome.
+    pub fn from_outcome(outcome: &FabricOutcome, seed: u64) -> FabricGridRow {
+        FabricGridRow {
+            strategy: outcome.label.clone(),
+            seed,
+            discoveries: outcome.discoveries.len(),
+            cross_host: outcome.cross_host_discoveries().len(),
+            experiments: outcome.experiments,
+            skipped_by_mfs: outcome.skipped_by_mfs,
+            simulated_minutes: outcome.elapsed.as_secs_f64() / 60.0,
+            first_cross_host_minutes: outcome
+                .discoveries
+                .iter()
+                .find(|d| d.cross_host)
+                .map(|d| d.at.as_secs_f64() / 60.0),
+        }
+    }
 }
 
 /// Render a slice of serialisable rows as pretty JSON (for EXPERIMENTS.md

@@ -5,11 +5,13 @@
 //! perturbs. Features group into the paper's four [`Dimension`]s.
 
 use collie_host::memory::MemoryTarget;
+use collie_rnic::fabric::TrafficPattern;
 use collie_rnic::workload::{Opcode, Transport};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// The paper's four search dimensions.
+/// The paper's four search dimensions, plus the fabric dimension the
+/// multi-host campaigns add on top.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Dimension {
     /// Dimension 1: where traffic comes from and goes to.
@@ -20,6 +22,9 @@ pub enum Dimension {
     Transport,
     /// Dimension 4: the request-size pattern.
     MessagePattern,
+    /// Dimension 5 (this reproduction's multi-host extension): fabric
+    /// scale and traffic-matrix shape.
+    Fabric,
 }
 
 /// One coordinate of a search point.
@@ -135,6 +140,8 @@ pub enum FeatureValue {
     TransportOpcode(Transport, Opcode),
     /// A request-size vector.
     Pattern(Vec<u64>),
+    /// A fabric traffic-matrix shape.
+    Traffic(TrafficPattern),
 }
 
 impl fmt::Display for FeatureValue {
@@ -145,6 +152,7 @@ impl fmt::Display for FeatureValue {
             FeatureValue::Memory(m) => write!(f, "{m}"),
             FeatureValue::TransportOpcode(t, o) => write!(f, "{t} {o}"),
             FeatureValue::Pattern(sizes) => write!(f, "{sizes:?}"),
+            FeatureValue::Traffic(pattern) => write!(f, "{pattern}"),
         }
     }
 }

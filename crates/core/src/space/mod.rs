@@ -18,11 +18,13 @@
 //! [`Feature`] names the individual coordinates (the unit the MFS algorithm
 //! reasons about).
 
+mod fabric;
 mod feature;
 mod ladder;
 mod point;
 mod restrict;
 
+pub use fabric::{FabricFeature, FabricPoint, FabricSpace};
 pub use feature::{Dimension, Feature, FeatureValue};
 pub use ladder::Ladders;
 pub use point::SearchPoint;
@@ -305,7 +307,7 @@ impl SearchSpace {
     }
 }
 
-fn ladder_alternatives<T: Copy + PartialEq + Into<u64>>(
+pub(crate) fn ladder_alternatives<T: Copy + PartialEq + Into<u64>>(
     ladder: &[T],
     current: T,
 ) -> Vec<FeatureValue> {

@@ -1,65 +1,87 @@
-//! The lossless Ethernet switch between the two servers.
+//! The lossless Ethernet switch between the servers.
 //!
-//! Collie deliberately evaluates a minimal network (§4): two RNICs on one
+//! Collie deliberately evaluates a minimal network (§4): RNICs on one
 //! commodity switch whose ports run at line rate, so the network itself is
 //! never congested and any PFC pause frame must originate from a host. The
 //! switch model therefore only needs to (a) never be the bottleneck, (b)
 //! relay the pause behaviour of the receiver back to the sender, and (c)
 //! count the pause frames it receives — that count is what the operator
 //! (and our anomaly monitor) watches.
+//!
+//! The paper's testbed attaches two servers; the multi-host fabric layer
+//! attaches N. [`LosslessSwitch::new`] keeps the historical two-port shape,
+//! [`LosslessSwitch::with_ports`] builds the N-port top-of-rack switch the
+//! fabric campaigns pause-account against.
 
 use collie_sim::units::BitRate;
 use serde::{Deserialize, Serialize};
 
-/// A two-port lossless top-of-rack switch.
+/// An N-port lossless top-of-rack switch (two ports by default).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LosslessSwitch {
-    /// Port speed; both ports run at the same speed and match or exceed the
+    /// Port speed; all ports run at the same speed and match or exceed the
     /// RNIC line rate.
     pub port_speed: BitRate,
     /// Cut-through forwarding latency in nanoseconds.
     pub forwarding_latency_ns: u64,
-    pause_seconds_received: [f64; 2],
+    pause_seconds_received: Vec<f64>,
 }
 
 impl LosslessSwitch {
-    /// A switch whose ports run at `port_speed`.
+    /// A two-port switch whose ports run at `port_speed` (the paper's
+    /// two-server testbed).
     pub fn new(port_speed: BitRate) -> Self {
+        LosslessSwitch::with_ports(port_speed, 2)
+    }
+
+    /// A switch with `ports` ports (at least two) running at `port_speed`,
+    /// one per attached host of a multi-host fabric.
+    pub fn with_ports(port_speed: BitRate, ports: usize) -> Self {
         LosslessSwitch {
             port_speed,
             forwarding_latency_ns: 600,
-            pause_seconds_received: [0.0; 2],
+            pause_seconds_received: vec![0.0; ports.max(2)],
         }
     }
 
-    /// True if the switch can carry `offered` without itself congesting.
-    /// With matched port speeds and two ports this is always true for
-    /// offered loads at or below line rate — the paper's premise that the
-    /// network is congestion-free.
+    /// Number of ports (== number of attachable hosts).
+    pub fn port_count(&self) -> usize {
+        self.pause_seconds_received.len()
+    }
+
+    /// True if the switch can carry `offered` on one port without itself
+    /// congesting. With matched port speeds this is always true for offered
+    /// loads at or below line rate — the paper's premise that the network is
+    /// congestion-free. Fabric traffic matrices are admissible by
+    /// construction (incast senders split the egress line rate), so the
+    /// premise carries over to N ports.
     pub fn can_carry(&self, offered: BitRate) -> bool {
         offered.bits_per_sec() <= self.port_speed.bits_per_sec() + 1.0
     }
 
-    /// Record that the host attached to `port` (0 or 1) asked its switch
-    /// port to pause for `seconds` of transmission time.
+    /// Record that the host attached to `port` asked its switch port to
+    /// pause for `seconds` of transmission time. Out-of-range ports and
+    /// non-positive durations are ignored.
     pub fn record_pause(&mut self, port: usize, seconds: f64) {
-        if port < 2 && seconds > 0.0 {
+        if port < self.pause_seconds_received.len() && seconds > 0.0 {
             self.pause_seconds_received[port] += seconds;
         }
     }
 
     /// Total pause time received on a port since construction.
     pub fn pause_seconds(&self, port: usize) -> f64 {
-        if port < 2 {
-            self.pause_seconds_received[port]
-        } else {
-            0.0
-        }
+        self.pause_seconds_received
+            .get(port)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// The pause-duration ratio on a port over an observation window: the
     /// fraction of the window the upstream queue was told to stay quiet.
     /// This is the metric the anomaly monitor thresholds at 0.1 %.
+    ///
+    /// A degenerate (zero or negative) window reads as "no observation",
+    /// not as a division: the ratio is 0, never NaN or infinite.
     pub fn pause_duration_ratio(&self, port: usize, window_seconds: f64) -> f64 {
         if window_seconds <= 0.0 {
             return 0.0;
@@ -67,9 +89,18 @@ impl LosslessSwitch {
         (self.pause_seconds(port) / window_seconds).clamp(0.0, 1.0)
     }
 
+    /// Pause-duration ratio of every port over one window, in port order.
+    pub fn pause_ratios(&self, window_seconds: f64) -> Vec<f64> {
+        (0..self.port_count())
+            .map(|p| self.pause_duration_ratio(p, window_seconds))
+            .collect()
+    }
+
     /// Clear pause accounting (between experiments).
     pub fn reset(&mut self) {
-        self.pause_seconds_received = [0.0; 2];
+        for slot in &mut self.pause_seconds_received {
+            *slot = 0.0;
+        }
     }
 }
 
@@ -97,11 +128,15 @@ mod tests {
     }
 
     #[test]
-    fn ratio_clamps_and_handles_zero_window() {
+    fn ratio_clamps_and_handles_degenerate_windows() {
         let mut sw = LosslessSwitch::new(BitRate::from_gbps(100.0));
         sw.record_pause(0, 5.0);
         assert_eq!(sw.pause_duration_ratio(0, 1.0), 1.0);
+        // Zero and negative windows read as "no observation": 0.0, never a
+        // NaN/inf from the raw division.
         assert_eq!(sw.pause_duration_ratio(0, 0.0), 0.0);
+        assert_eq!(sw.pause_duration_ratio(0, -3.5), 0.0);
+        assert!(sw.pause_duration_ratio(0, 0.0).is_finite());
     }
 
     #[test]
@@ -109,6 +144,7 @@ mod tests {
         let mut sw = LosslessSwitch::new(BitRate::from_gbps(100.0));
         sw.record_pause(7, 1.0);
         assert_eq!(sw.pause_seconds(7), 0.0);
+        assert_eq!(sw.pause_duration_ratio(7, 1.0), 0.0);
     }
 
     #[test]
@@ -119,5 +155,27 @@ mod tests {
         sw.record_pause(0, 1.0);
         sw.reset();
         assert_eq!(sw.pause_seconds(0), 0.0);
+    }
+
+    #[test]
+    fn n_port_switch_accounts_every_port() {
+        let mut sw = LosslessSwitch::with_ports(BitRate::from_gbps(200.0), 8);
+        assert_eq!(sw.port_count(), 8);
+        for port in 0..8 {
+            sw.record_pause(port, 0.01 * (port + 1) as f64);
+        }
+        let ratios = sw.pause_ratios(1.0);
+        assert_eq!(ratios.len(), 8);
+        for (port, ratio) in ratios.iter().enumerate() {
+            assert!((ratio - 0.01 * (port + 1) as f64).abs() < 1e-12);
+        }
+        sw.reset();
+        assert!(sw.pause_ratios(1.0).iter().all(|r| *r == 0.0));
+    }
+
+    #[test]
+    fn switch_never_has_fewer_than_two_ports() {
+        let sw = LosslessSwitch::with_ports(BitRate::from_gbps(100.0), 0);
+        assert_eq!(sw.port_count(), 2);
     }
 }

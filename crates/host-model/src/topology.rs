@@ -176,6 +176,50 @@ impl DmaPath {
     }
 }
 
+/// A multi-host fabric: N servers attached to one shared lossless switch,
+/// one host per switch port.
+///
+/// The paper's testbed is the two-host special case; the fabric campaigns
+/// scale the same homogeneous server out to N ports so that cross-host
+/// effects (PFC pause propagation, victim-flow collapse) become
+/// expressible. Host `i` sits on switch port `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricTopology {
+    /// The attached hosts, in switch-port order.
+    pub hosts: Vec<HostConfig>,
+}
+
+impl FabricTopology {
+    /// A fabric of `host_count` identical copies of `host` (clamped to at
+    /// least two — a fabric below two hosts carries no traffic).
+    pub fn homogeneous(host: &HostConfig, host_count: u32) -> FabricTopology {
+        let count = host_count.max(2) as usize;
+        let mut hosts = Vec::with_capacity(count);
+        for index in 0..count {
+            let mut h = host.clone();
+            h.name = format!("{}-{index}", host.name);
+            hosts.push(h);
+        }
+        FabricTopology { hosts }
+    }
+
+    /// Number of attached hosts (== switch ports in use).
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The switch port a host is attached to (an identity mapping, kept as
+    /// a named operation so the port assignment has exactly one definition).
+    pub fn port_of(&self, host_index: usize) -> Option<usize> {
+        (host_index < self.hosts.len()).then_some(host_index)
+    }
+
+    /// The host attached to `port`, if any.
+    pub fn host(&self, port: usize) -> Option<&HostConfig> {
+        self.hosts.get(port)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +309,28 @@ mod tests {
         assert!(p.is_gpu);
         assert!(p.crosses_socket);
         assert!(p.via_root_complex);
+    }
+
+    #[test]
+    fn fabric_topology_scales_one_host_out_to_n_ports() {
+        let fabric = FabricTopology::homogeneous(&intel_host(), 6);
+        assert_eq!(fabric.host_count(), 6);
+        // One host per port, identity port assignment.
+        for index in 0..6 {
+            assert_eq!(fabric.port_of(index), Some(index));
+            assert!(fabric
+                .host(index)
+                .unwrap()
+                .name
+                .ends_with(&index.to_string()));
+        }
+        assert_eq!(fabric.port_of(6), None);
+        assert!(fabric.host(6).is_none());
+        // Degenerate host counts clamp to the two-host testbed.
+        assert_eq!(
+            FabricTopology::homogeneous(&intel_host(), 0).host_count(),
+            2
+        );
     }
 
     #[test]

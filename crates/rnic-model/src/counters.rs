@@ -66,6 +66,38 @@ pub mod diag {
     ];
 }
 
+/// Fabric gauge names: cross-host observables of a multi-host campaign.
+///
+/// These are not RNIC hardware counters — they are derived from the
+/// switch's per-port pause accounting and the victim/culprit flow
+/// bookkeeping the fabric engine keeps — but they are published through the
+/// same [`CounterSnapshot`](collie_sim::counters::CounterSnapshot) surface
+/// so the search layer can treat them as opaque signals, exactly as it
+/// treats the vendor counters. Ratios are raw fractions in [0, 1].
+pub mod fabric {
+    /// Achieved / expected throughput of the worst victim flow (a benign
+    /// flow from a pause-propagated sender port to a healthy receiver).
+    pub const VICTIM_THROUGHPUT_FRAC: &str = "fabric/victim_throughput_frac";
+    /// Pause-duration ratio observed on the victim flow's sender port.
+    pub const VICTIM_PAUSE_RATIO: &str = "fabric/victim_pause_ratio";
+    /// Achieved spec fraction of the culprit host's own traffic.
+    pub const CULPRIT_THROUGHPUT_FRAC: &str = "fabric/culprit_throughput_frac";
+    /// Fraction of switch ports whose pause ratio breaches the monitor
+    /// threshold (how far the storm spread).
+    pub const PAUSE_SPREAD: &str = "fabric/pause_spread";
+    /// Worst per-port pause-duration ratio across the switch.
+    pub const MAX_PORT_PAUSE: &str = "fabric/max_port_pause";
+
+    /// All fabric gauges.
+    pub const ALL: [&str; 5] = [
+        VICTIM_THROUGHPUT_FRAC,
+        VICTIM_PAUSE_RATIO,
+        CULPRIT_THROUGHPUT_FRAC,
+        PAUSE_SPREAD,
+        MAX_PORT_PAUSE,
+    ];
+}
+
 /// Handles to every registered counter of one subsystem.
 #[derive(Debug, Clone)]
 pub struct RnicCounters {

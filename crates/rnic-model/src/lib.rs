@@ -27,6 +27,9 @@
 //!   lossless switch) and its `evaluate()` entry point, which maps one
 //!   workload to one [`Measurement`].
 //! * [`subsystems`] — the Table-1 catalog (subsystems A–H).
+//! * [`fabric`] — the multi-host extension: N hosts on one switch, PFC
+//!   pause propagation to upstream sender ports, and the victim/culprit
+//!   gauges cross-host campaigns hunt with.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@
 pub mod bottleneck;
 pub mod cache;
 pub mod counters;
+pub mod fabric;
 pub mod pfc;
 pub mod spec;
 pub mod subsystem;
@@ -41,6 +45,7 @@ pub mod subsystems;
 pub mod workload;
 
 pub use counters::{diag, perf, RnicCounters};
+pub use fabric::{FabricMeasurement, FabricShape, TrafficPattern};
 pub use spec::{RnicModel, RnicSpec};
 pub use subsystem::{DirectionMetrics, Measurement, Subsystem};
 pub use subsystems::{SubsystemId, SubsystemInfo};

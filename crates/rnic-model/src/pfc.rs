@@ -69,6 +69,23 @@ impl PauseAccount {
             },
         ])
     }
+
+    /// The pause an upstream *sender* port observes when this account's
+    /// pause is relayed through the lossless switch.
+    ///
+    /// PFC pause frames are quantized (whole pause quanta per frame) and the
+    /// switch pauses its ingress ports against a shared-buffer threshold
+    /// with hysteresis, so the upstream port is quiet for *longer* than the
+    /// receiver's own deficit; the surplus grows with how many senders share
+    /// the congested egress. `amplification >= 1` carries that factor (1 =
+    /// lossless relay, no surplus). The surplus is composed with the base
+    /// pause via [`PauseAccount::combine`], keeping the result in [0, 1]
+    /// and monotone in both the base ratio and the amplification.
+    pub fn propagated(self, amplification: f64) -> PauseAccount {
+        let base = self.pause_ratio.clamp(0.0, 1.0);
+        let surplus = base * (amplification.max(1.0) - 1.0);
+        self.with_extra(surplus.min(1.0))
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +136,27 @@ mod tests {
         let b = PauseAccount { pause_ratio: 0.9 };
         let c = PauseAccount::combine(&[a, b]);
         assert!(c.pause_ratio <= 1.0);
+    }
+
+    #[test]
+    fn propagated_pause_amplifies_but_stays_a_ratio() {
+        let base = PauseAccount { pause_ratio: 0.15 };
+        // Amplification 1 is the lossless relay: unchanged.
+        assert!((base.propagated(1.0).pause_ratio - 0.15).abs() < 1e-12);
+        // Amplification below 1 is clamped to the relay.
+        assert!((base.propagated(0.2).pause_ratio - 0.15).abs() < 1e-12);
+        // Amplification 2 composes a same-sized surplus via combine.
+        let amplified = base.propagated(2.0).pause_ratio;
+        assert!((amplified - (1.0 - 0.85 * 0.85)).abs() < 1e-12);
+        assert!(amplified > 0.15);
+        // Extreme amplification saturates at a full pause, never beyond.
+        assert_eq!(
+            PauseAccount { pause_ratio: 0.9 }
+                .propagated(100.0)
+                .pause_ratio,
+            1.0
+        );
+        assert_eq!(PauseAccount::NONE.propagated(100.0).pause_ratio, 0.0);
     }
 
     #[test]

@@ -24,20 +24,40 @@ use collie_rnic::workload::{Direction, FlowSpec, MessagePattern, WorkloadSpec};
 use collie_sim::units::ByteSize;
 use std::collections::BTreeMap;
 
-/// The two-server testbed as seen by verbs applications.
+/// The testbed as seen by verbs applications: two servers by default, N
+/// servers when built with [`Fabric::with_hosts`] (the multi-host fabric
+/// layer — every extra host is a copy of host B on its own switch port).
 #[derive(Debug)]
 pub struct Fabric {
     subsystem: Subsystem,
-    devices: [RdmaDevice; 2],
+    devices: Vec<RdmaDevice>,
 }
 
 impl Fabric {
-    /// Build a fabric over an already-assembled subsystem.
+    /// Build a two-host fabric over an already-assembled subsystem (the
+    /// paper's testbed).
     pub fn new(subsystem: Subsystem) -> Self {
-        let devices = [
-            RdmaDevice::new(subsystem.host_a.clone(), subsystem.rnic.clone(), 0),
-            RdmaDevice::new(subsystem.host_b.clone(), subsystem.rnic.clone(), 1),
-        ];
+        Fabric::with_hosts(subsystem, 2)
+    }
+
+    /// Build a fabric of `host_count` hosts (clamped to at least two):
+    /// host 0 is the subsystem's host A, every further host a copy of
+    /// host B — the homogeneous fleet the fabric campaigns model.
+    pub fn with_hosts(subsystem: Subsystem, host_count: usize) -> Self {
+        let count = host_count.max(2);
+        let mut devices = Vec::with_capacity(count);
+        devices.push(RdmaDevice::new(
+            subsystem.host_a.clone(),
+            subsystem.rnic.clone(),
+            0,
+        ));
+        for index in 1..count {
+            devices.push(RdmaDevice::new(
+                subsystem.host_b.clone(),
+                subsystem.rnic.clone(),
+                index,
+            ));
+        }
         Fabric { subsystem, devices }
     }
 
@@ -46,9 +66,15 @@ impl Fabric {
         Fabric::new(id.build())
     }
 
-    /// The device of host `index` (0 = A, 1 = B).
+    /// Number of hosts attached to the fabric.
+    pub fn host_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The device of host `index` (0 = A; out-of-range indices clamp to
+    /// the last host).
     pub fn device(&self, index: usize) -> &RdmaDevice {
-        &self.devices[index.min(1)]
+        &self.devices[index.min(self.devices.len() - 1)]
     }
 
     /// The underlying subsystem.
@@ -137,11 +163,14 @@ impl Fabric {
         for (_, members) in groups {
             let (profile, first_idx) = &members[0];
             let qp = &qps[*first_idx];
+            // Cross-host pairs are evaluated on the two-host model with the
+            // lower-indexed host in the "A" role (the fleet is homogeneous,
+            // so every pair behaves like the calibrated host pair);
+            // collocated client and server loop back through one RNIC.
             let direction = match (profile.host_index, profile.remote_host_index) {
-                (0, 1) => Direction::AToB,
-                (1, 0) => Direction::BToA,
-                // Collocated client and server: loopback through one RNIC.
-                _ => Direction::LoopbackA,
+                (s, r) if s == r => Direction::LoopbackA,
+                (s, r) if s < r => Direction::AToB,
+                _ => Direction::BToA,
             };
             let num_qps = members.len() as u32;
             let pd_mrs = qp.pd().mr_count() as u32;
@@ -489,6 +518,55 @@ mod tests {
         let wcs = client.cq.poll(10);
         assert_eq!(wcs.len(), 1);
         assert_eq!(wcs[0].status, WcStatus::ReceiverNotReady);
+    }
+
+    #[test]
+    fn multi_host_fabric_connects_and_classifies_cross_host_pairs() {
+        let mut fabric = Fabric::with_hosts(SubsystemId::B.build(), 4);
+        assert_eq!(fabric.host_count(), 4);
+        // Hosts 2 and 3 are real devices with their own indices.
+        assert_eq!(fabric.device(2).host_index(), 2);
+        assert_eq!(fabric.device(9).host_index(), 3, "out of range clamps");
+
+        let client = endpoint(&fabric, 2);
+        let server = endpoint(&fabric, 3);
+        let mr = client
+            .pd
+            .reg_mr(
+                ByteSize::from_mib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
+            .unwrap();
+        server
+            .pd
+            .reg_mr(
+                ByteSize::from_mib(4),
+                MemoryTarget::local_dram(),
+                AccessFlags::FULL,
+            )
+            .unwrap();
+        let mut a = qp(&client, Transport::Rc, QpCaps::default());
+        let mut b = qp(&server, Transport::Rc, QpCaps::default());
+        Fabric::connect(&mut a, &mut b, Mtu::Mtu4096).unwrap();
+        for i in 0..8 {
+            a.post_send(write_wr(mr.lkey, i, 65536)).unwrap();
+        }
+        // The 2 -> 3 pair maps onto the calibrated host pair in the A role.
+        let workload = fabric.derive_workload(&[&mut a, &mut b]);
+        assert_eq!(workload.flows.len(), 1);
+        assert_eq!(workload.flows[0].direction, Direction::AToB);
+        // And the measurement loop delivers completions as on two hosts.
+        let measurement = fabric.run(&mut [&mut a, &mut b]).unwrap();
+        assert!(
+            measurement
+                .direction(Direction::AToB)
+                .unwrap()
+                .throughput
+                .gbps()
+                > 90.0
+        );
+        assert_eq!(client.cq.poll(100).len(), 8);
     }
 
     #[test]

@@ -50,12 +50,16 @@ pub mod prelude {
     pub use collie_core::advisor::{Advisor, Suggestion};
     pub use collie_core::catalog::KnownAnomaly;
     pub use collie_core::engine::WorkloadEngine;
+    pub use collie_core::fabric::{run_fabric_search, FabricEngine, FabricOutcome, FabricVerdict};
     pub use collie_core::mitigation::{Mitigation, MitigationKind, RemediationPlan};
     pub use collie_core::monitor::{AnomalyMonitor, AnomalyVerdict, Mfs, Symptom};
     pub use collie_core::search::{
         run_search, SearchConfig, SearchOutcome, SearchStrategy, SignalMode,
     };
-    pub use collie_core::space::{SearchPoint, SearchSpace, SpaceRestriction};
+    pub use collie_core::space::{
+        FabricPoint, FabricSpace, SearchPoint, SearchSpace, SpaceRestriction,
+    };
+    pub use collie_rnic::fabric::TrafficPattern;
     pub use collie_rnic::subsystems::SubsystemId;
     pub use collie_rnic::workload::{Direction, Opcode, Transport};
     pub use collie_sim::time::SimDuration;
@@ -84,6 +88,30 @@ pub fn assess_workload(subsystem: SubsystemId, workload: &SearchPoint) -> Anomal
     verdict
 }
 
+/// Run a fabric campaign (counter-guided search over the multi-host
+/// space) against a homogeneous fleet of one subsystem's hosts for
+/// `budget_hours` of simulated testing time.
+pub fn quick_fabric_campaign(
+    subsystem: SubsystemId,
+    budget_hours: f64,
+    seed: u64,
+) -> FabricOutcome {
+    let mut engine = FabricEngine::for_catalog(subsystem);
+    let space = FabricSpace::for_host(&subsystem.host());
+    let config =
+        SearchConfig::collie(seed).with_budget(SimDuration::from_secs_f64(budget_hours * 3600.0));
+    run_fabric_search(&mut engine, &space, &config)
+}
+
+/// Check one fabric point against a subsystem's fleet: measure it and
+/// return the fabric verdict (pause on a victim port, cross-host
+/// hallmark).
+pub fn assess_fabric_workload(subsystem: SubsystemId, point: &FabricPoint) -> FabricVerdict {
+    let mut engine = FabricEngine::for_catalog(subsystem);
+    let measurement = engine.measure(point);
+    collie_core::fabric::assess_fabric(&AnomalyMonitor::new(), &measurement)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +131,18 @@ mod tests {
         assert!(!assess_workload(SubsystemId::F, &SearchPoint::benign()).is_anomalous());
         let anomaly = KnownAnomaly::by_id(1).unwrap();
         assert!(assess_workload(SubsystemId::F, &anomaly.trigger).is_anomalous());
+    }
+
+    #[test]
+    fn quick_fabric_campaign_runs_within_budget() {
+        let outcome = quick_fabric_campaign(SubsystemId::F, 0.5, 3);
+        assert!(outcome.experiments > 5);
+        assert!(outcome.elapsed.as_secs_f64() <= 1800.0 + 4500.0);
+    }
+
+    #[test]
+    fn assess_fabric_workload_passes_a_benign_fleet() {
+        let verdict = assess_fabric_workload(SubsystemId::F, &FabricPoint::benign());
+        assert!(!verdict.is_anomalous(), "{verdict:?}");
     }
 }

@@ -65,3 +65,57 @@ fn memoization_is_on_by_default_for_paper_configs() {
     assert!(SearchConfig::bayesian(1).memoize);
     assert!(!SearchConfig::collie(1).with_memoization(false).memoize);
 }
+
+fn fabric_campaign(memoize: bool) -> (FabricOutcome, collie::core::eval::EvalStats) {
+    let mut engine = FabricEngine::for_catalog(SubsystemId::F);
+    let space = FabricSpace::for_host(&SubsystemId::F.host());
+    let config = SearchConfig::collie(17)
+        .with_budget(SimDuration::from_secs(2 * 3600))
+        .with_memoization(memoize);
+    collie::core::fabric::run_fabric_search_with_stats(&mut engine, &space, &config)
+}
+
+/// The PR 2 guarantee, extended to the fabric path: a fabric campaign's
+/// outcome — discoveries, fabric MFSes, gauges in the trace, elapsed
+/// simulated time — is bit-identical with memoization on and off, while
+/// the memoized run answers a substantial share of measurements from the
+/// cache.
+#[test]
+fn memoized_fabric_campaign_is_bit_identical_to_the_uncached_path() {
+    let (cached, cached_stats) = fabric_campaign(true);
+    let (uncached, uncached_stats) = fabric_campaign(false);
+
+    assert_eq!(cached, uncached);
+
+    assert!(
+        cached_stats.hits > 0,
+        "memoized fabric campaign never hit the cache: {cached_stats:?}"
+    );
+    assert_eq!(uncached_stats.hits, 0);
+    assert_eq!(
+        uncached_stats.misses,
+        cached_stats.hits + cached_stats.misses,
+        "both paths must issue the same measurement sequence"
+    );
+}
+
+/// Same seed + same point ⇒ bit-identical gauges, memoized or not (the
+/// property the whole fabric cache rests on, checked at the single-
+/// measurement level across distinct engines).
+#[test]
+fn fabric_gauges_are_bit_identical_across_engines_and_cache_modes() {
+    let space = FabricSpace::for_host(&SubsystemId::F.host());
+    let mut rng = collie::sim::rng::SimRng::new(99);
+    for _ in 0..10 {
+        let point = space.random_point(&mut rng);
+        let mut engine_a = FabricEngine::for_catalog(SubsystemId::F);
+        let mut engine_b = FabricEngine::for_catalog(SubsystemId::F);
+        let mut cached = collie::core::fabric::FabricEvaluator::new(&mut engine_a);
+        let mut uncached = collie::core::fabric::FabricEvaluator::uncached(&mut engine_b);
+        let a = cached.measure(&point);
+        let a_repeat = cached.measure(&point);
+        let b = uncached.measure(&point);
+        assert_eq!(a, a_repeat, "{point}");
+        assert_eq!(a, b, "{point}");
+    }
+}

@@ -172,6 +172,90 @@ proptest! {
     }
 }
 
+/// Draw `n` pause ratios in [0, 1] from one seed (the shim has no float
+/// strategies, so ratios are derived from integer draws).
+fn ratios_from_seed(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = SimRng::new(seed);
+    (0..n).map(|_| rng.gen_f64()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128 })]
+
+    #[test]
+    fn pause_combine_is_order_insensitive_and_dominates_every_input(seed in any::<u64>()) {
+        use collie::rnic::pfc::PauseAccount;
+        let mut rng = SimRng::new(seed);
+        let count = (rng.gen_range_u64(1, 7)) as usize;
+        let accounts: Vec<PauseAccount> = ratios_from_seed(seed ^ 0x9e37, count)
+            .into_iter()
+            .map(|pause_ratio| PauseAccount { pause_ratio })
+            .collect();
+        let combined = PauseAccount::combine(&accounts).pause_ratio;
+
+        // A valid ratio.
+        prop_assert!((0.0..=1.0).contains(&combined));
+        // Never below the worst single contribution (pause times cannot
+        // cancel each other out).
+        let max_input = accounts
+            .iter()
+            .map(|a| a.pause_ratio)
+            .fold(0.0, f64::max);
+        prop_assert!(
+            combined >= max_input - 1e-12,
+            "combine({accounts:?}) = {combined} < max input {max_input}"
+        );
+        // Order-insensitive: reversing (and rotating) the inputs changes
+        // nothing beyond floating-point noise.
+        let mut reversed = accounts.clone();
+        reversed.reverse();
+        prop_assert!((PauseAccount::combine(&reversed).pause_ratio - combined).abs() < 1e-12);
+        let mut rotated = accounts.clone();
+        rotated.rotate_left(count / 2);
+        prop_assert!((PauseAccount::combine(&rotated).pause_ratio - combined).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pause_with_extra_is_monotone_and_stays_a_ratio(seed in any::<u64>()) {
+        use collie::rnic::pfc::PauseAccount;
+        let draws = ratios_from_seed(seed, 3);
+        let base = PauseAccount { pause_ratio: draws[0] };
+        let (lo, hi) = if draws[1] <= draws[2] {
+            (draws[1], draws[2])
+        } else {
+            (draws[2], draws[1])
+        };
+        let with_lo = base.with_extra(lo).pause_ratio;
+        let with_hi = base.with_extra(hi).pause_ratio;
+        prop_assert!((0.0..=1.0).contains(&with_lo));
+        prop_assert!((0.0..=1.0).contains(&with_hi));
+        // Monotone in the extra contribution...
+        prop_assert!(with_hi >= with_lo - 1e-12, "{with_hi} < {with_lo}");
+        // ...and never below the base pause.
+        prop_assert!(with_lo >= base.pause_ratio - 1e-12);
+        // Zero extra is the identity.
+        prop_assert!((base.with_extra(0.0).pause_ratio - base.pause_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pause_propagation_amplifies_monotonically_within_bounds(seed in any::<u64>()) {
+        use collie::rnic::pfc::PauseAccount;
+        let draws = ratios_from_seed(seed, 2);
+        let base = PauseAccount { pause_ratio: draws[0] };
+        let amp_small = 1.0 + draws[1] * 2.0;
+        let amp_large = amp_small + 1.0;
+        let relayed = base.propagated(1.0).pause_ratio;
+        let small = base.propagated(amp_small).pause_ratio;
+        let large = base.propagated(amp_large).pause_ratio;
+        // The lossless relay is exact; amplification only ever adds pause,
+        // monotonically, and the result remains a valid ratio.
+        prop_assert!((relayed - base.pause_ratio).abs() < 1e-12);
+        prop_assert!(small >= relayed - 1e-12);
+        prop_assert!(large >= small - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&large));
+    }
+}
+
 /// Determinism of a full campaign, stated as a plain test because it is a
 /// single (seeded) scenario rather than a sampled property.
 #[test]
