@@ -1,10 +1,11 @@
 //! Counter-guided search over the fabric space.
 //!
-//! Mirrors the two-host campaign ([`crate::search`]) layer for layer: the
-//! campaign charges simulated hardware time per experiment, follows the §6
-//! four-sample measurement procedure through the shared memo cache, skips
-//! points inside already-discovered fabric MFSes (with the same
-//! `!is_empty()` guard the two-host campaign applies, so one degenerate
+//! Runs the generic campaign kernel
+//! ([`CampaignLoop`](crate::search::kernel::CampaignLoop)) over the
+//! [`FabricDomain`]: the loop charges simulated hardware time per
+//! experiment, follows the §6 four-sample measurement procedure through the
+//! shared memo cache, skips points inside already-discovered fabric MFSes
+//! (with the same `!is_empty()` guard as every domain, so one degenerate
 //! extraction can never silence the rest of the run), extracts an MFS per
 //! discovery, and is a pure function of its seed.
 //!
@@ -14,20 +15,22 @@
 //! fraction). The Bayesian baseline is not ported to the fabric space —
 //! a [`SearchStrategy::Bayesian`] config runs the random baseline.
 
-use super::{FabricEngine, FabricEvaluator, FabricMfsExtractor};
+use super::{FabricEngine, FabricEvaluator};
 use crate::eval::EvalStats;
-use crate::monitor::{AnomalyMonitor, Symptom};
+use crate::monitor::{AnomalyMonitor, FeatureCondition, Symptom};
+use crate::search::domain::{CampaignReport, ExtractionCost, SearchDomain};
+use crate::search::kernel::{run_annealing, run_random, CampaignLoop};
 use crate::search::{SearchConfig, SearchStrategy, SignalMode};
-use crate::space::{FabricPoint, FabricSpace};
+use crate::space::{FabricFeature, FabricPoint, FabricSpace, FeatureValue};
 use collie_rnic::counters::fabric as fabric_gauges;
 use collie_rnic::fabric::FabricMeasurement;
-use collie_sim::rng::SimRng;
 use collie_sim::series::TimeSeries;
-use collie_sim::time::{SimDuration, SimTime};
+use collie_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use super::mfs::FabricMfs;
+use super::mfs::{FabricMfs, FabricSignature};
 
 /// One anomaly discovered by a fabric campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,6 +70,19 @@ pub struct FabricOutcome {
 }
 
 impl FabricOutcome {
+    /// Assemble the public outcome from a finished kernel report (the
+    /// fabric outcome does not report rule-hit scoring).
+    fn from_report(label: String, report: CampaignReport<FabricDomain<'_, '_>>) -> Self {
+        FabricOutcome {
+            label,
+            discoveries: report.discoveries,
+            trace: report.trace,
+            experiments: report.experiments,
+            skipped_by_mfs: report.skipped_by_mfs,
+            elapsed: report.elapsed,
+        }
+    }
+
     /// The discoveries carrying the cross-host hallmark.
     pub fn cross_host_discoveries(&self) -> Vec<&FabricDiscovery> {
         self.discoveries.iter().filter(|d| d.cross_host).collect()
@@ -82,144 +98,128 @@ impl FabricOutcome {
     }
 }
 
-/// Mutable state shared by the fabric strategies.
-struct FabricCampaign<'a> {
-    evaluator: FabricEvaluator<'a>,
-    space: &'a FabricSpace,
+/// The fabric search domain: N homogeneous hosts around one lossless
+/// switch, hunting cross-host PFC storms over the 18-coordinate fabric
+/// space (the culprit's fifteen workload features plus host count, incast
+/// degree, and traffic shape).
+///
+/// The [`SearchDomain`] binding differs from the two-host
+/// [`WorkloadDomain`](crate::search::WorkloadDomain) in exactly the ways
+/// the fabric setting demands: the anomaly identity is *(symptom,
+/// cross-host hallmark)* — a victim-collapse anomaly surfacing inside the
+/// region of a loud local storm is operationally a different finding and
+/// must not be shadowed by it — the guiding signal is a fixed victim-gauge
+/// formula (no rankable counter family, so the annealer runs un-targeted
+/// schedules), and the extraction signature carries the cross-host flag
+/// instead of a dominant counter.
+pub struct FabricDomain<'a, 'e> {
+    evaluator: &'a mut FabricEvaluator<'e>,
     monitor: &'a AnomalyMonitor,
-    config: &'a SearchConfig,
-    rng: SimRng,
-    elapsed: SimDuration,
-    experiments: u32,
-    skipped: u32,
-    discoveries: Vec<FabricDiscovery>,
-    mfs_set: Vec<FabricMfs>,
-    trace: TimeSeries,
+    space: &'a FabricSpace,
+    signal: SignalMode,
 }
 
-impl<'a> FabricCampaign<'a> {
-    fn new(
-        engine: &'a mut FabricEngine,
-        space: &'a FabricSpace,
+impl<'a, 'e> FabricDomain<'a, 'e> {
+    /// Bind a fabric domain to an evaluator, monitor, space, and guiding
+    /// signal mode.
+    pub fn new(
+        evaluator: &'a mut FabricEvaluator<'e>,
         monitor: &'a AnomalyMonitor,
-        config: &'a SearchConfig,
+        space: &'a FabricSpace,
+        signal: SignalMode,
     ) -> Self {
-        let evaluator = if config.memoize {
-            FabricEvaluator::new(engine)
-        } else {
-            FabricEvaluator::uncached(engine)
-        };
-        let traced = match config.signal {
+        FabricDomain {
+            evaluator,
+            monitor,
+            space,
+            signal,
+        }
+    }
+}
+
+impl SearchDomain for FabricDomain<'_, '_> {
+    type Point = FabricPoint;
+    type Feature = FabricFeature;
+    type Measurement = FabricMeasurement;
+    type Identity = (Symptom, bool);
+    type Mfs = FabricMfs;
+    type Discovery = FabricDiscovery;
+    type Signature = FabricSignature;
+
+    fn random_point(&mut self, rng: &mut collie_sim::rng::SimRng) -> FabricPoint {
+        self.space.random_point(rng)
+    }
+
+    fn mutate(&mut self, point: &FabricPoint, rng: &mut collie_sim::rng::SimRng) -> FabricPoint {
+        self.space.mutate(point, rng)
+    }
+
+    fn features(&self) -> Vec<FabricFeature> {
+        FabricFeature::all()
+    }
+
+    fn feature_value(&self, point: &FabricPoint, feature: FabricFeature) -> FeatureValue {
+        point.feature_value(feature)
+    }
+
+    fn apply(&self, point: &mut FabricPoint, feature: FabricFeature, value: &FeatureValue) {
+        point.apply(feature, value);
+    }
+
+    fn alternatives(&self, point: &FabricPoint, feature: FabricFeature) -> Vec<FeatureValue> {
+        self.space.alternatives(point, feature)
+    }
+
+    fn experiment_cost(&self, point: &FabricPoint) -> SimDuration {
+        FabricEngine::experiment_cost(point)
+    }
+
+    fn assess(&mut self, point: &FabricPoint) -> (FabricMeasurement, Option<(Symptom, bool)>) {
+        let (measurement, verdict) = self.evaluator.measure_and_assess(self.monitor, point);
+        let identity = verdict.symptom.map(|s| (s, verdict.cross_host));
+        (measurement, identity)
+    }
+
+    fn symptom(identity: &(Symptom, bool)) -> Symptom {
+        identity.0
+    }
+
+    fn ground_truth(&self, point: &FabricPoint) -> Vec<&'static str> {
+        self.evaluator.ground_truth(point)
+    }
+
+    fn reports_rule_hits(&self) -> bool {
+        // FabricOutcome carries no rule-hit log; skip the bookkeeping.
+        false
+    }
+
+    fn eval_stats(&self) -> EvalStats {
+        self.evaluator.stats()
+    }
+
+    fn traced_counter(&self) -> &'static str {
+        match self.signal {
             SignalMode::Diagnostic => fabric_gauges::VICTIM_PAUSE_RATIO,
             SignalMode::Performance => fabric_gauges::VICTIM_THROUGHPUT_FRAC,
-        };
-        FabricCampaign {
-            evaluator,
-            space,
-            monitor,
-            config,
-            rng: SimRng::new(config.seed),
-            elapsed: SimDuration::ZERO,
-            experiments: 0,
-            skipped: 0,
-            discoveries: Vec::new(),
-            mfs_set: Vec::new(),
-            trace: TimeSeries::new(traced),
         }
     }
 
-    fn out_of_budget(&self) -> bool {
-        self.elapsed >= self.config.budget
+    fn trace_value(&self, measurement: &FabricMeasurement) -> f64 {
+        measurement
+            .counters
+            .value(self.traced_counter())
+            .unwrap_or(0.0)
     }
 
-    /// Algorithm 1 line 5 on the fabric space; empty MFSes never
-    /// participate (they would match the entire space).
-    fn matches_known_mfs(&mut self, point: &FabricPoint) -> bool {
-        if !self.config.use_mfs {
-            return false;
-        }
-        let matched = self
-            .mfs_set
-            .iter()
-            .any(|m| !m.is_empty() && m.matches(point));
-        if matched {
-            self.skipped += 1;
-        }
-        matched
-    }
-
-    /// Run one fabric experiment, charge its cost, record the trace, and —
-    /// if anomalous — extract the fabric MFS and log the discovery.
-    fn measure(&mut self, point: &FabricPoint) -> Option<FabricMeasurement> {
-        if self.out_of_budget() {
-            return None;
-        }
-        self.elapsed += FabricEngine::experiment_cost(point);
-        self.experiments += 1;
-        let (measurement, verdict) = self.evaluator.measure_and_assess(self.monitor, point);
-
-        let trace_value = measurement.counters.value(self.trace.name()).unwrap_or(0.0);
-        let now = SimTime::ZERO + self.elapsed;
-        if let Some(symptom) = verdict.symptom {
-            self.trace.record_anomaly(now, trace_value);
-            self.handle_anomaly(point, symptom, verdict.cross_host);
-        } else {
-            self.trace.record(now, trace_value);
-        }
-        Some(measurement)
-    }
-
-    fn handle_anomaly(&mut self, point: &FabricPoint, symptom: Symptom, cross_host: bool) {
-        // Redundant sighting of a known fabric anomaly? Only an MFS with
-        // the *same observable identity* (symptom + cross-host hallmark)
-        // dedups: a victim-collapse anomaly surfacing inside the region of
-        // a loud local storm is operationally a different finding and must
-        // not be shadowed by it. Empty MFSes match vacuously and are
-        // excluded, exactly as in the two-host campaign.
-        if self.mfs_set.iter().any(|m| {
-            !m.is_empty() && m.symptom == symptom && m.cross_host == cross_host && m.matches(point)
-        }) {
-            return;
-        }
-        let found_at = self.elapsed;
-        let outcome = {
-            let mut extractor =
-                FabricMfsExtractor::new(&mut self.evaluator, self.monitor, self.space);
-            extractor.extract(point, symptom, cross_host)
-        };
-        self.elapsed += outcome.elapsed;
-        self.experiments += outcome.experiments;
-        let trace_value = self.trace.samples().last().map(|s| s.value).unwrap_or(0.0);
-        self.trace.record(SimTime::ZERO + self.elapsed, trace_value);
-
-        let matched_rules = self
-            .evaluator
-            .ground_truth(point)
-            .into_iter()
-            .map(|r| r.to_string())
-            .collect();
-        self.mfs_set.push(outcome.mfs.clone());
-        self.discoveries.push(FabricDiscovery {
-            at: found_at,
-            point: point.clone(),
-            symptom,
-            cross_host,
-            mfs: outcome.mfs,
-            matched_rules,
-        });
-    }
-
-    /// The guiding-gauge value of a measurement under the configured
-    /// signal mode.
-    ///
     /// Diagnostic mode maximises the victim-port pause *weighted by the
     /// culprit's health*: a storm whose culprit still looks fine is the
     /// silent cross-host failure the fabric campaign exists to find (a
     /// collapsed culprit is already visible to the two-host search), so
     /// the annealer is steered toward pause that hides behind a healthy
     /// culprit. Performance mode minimises the victim throughput gauge.
-    fn signal_value(&self, measurement: &FabricMeasurement) -> f64 {
-        match self.config.signal {
+    /// The fabric signal is a fixed formula, so `target` is ignored.
+    fn signal_value(&self, measurement: &FabricMeasurement, _target: Option<&str>) -> f64 {
+        match self.signal {
             SignalMode::Diagnostic => {
                 measurement.victim_pause_ratio * measurement.culprit_throughput_frac
             }
@@ -227,133 +227,73 @@ impl<'a> FabricCampaign<'a> {
         }
     }
 
-    /// Algorithm 1's energy delta (negative = better: higher victim pause
-    /// in diagnostic mode, lower victim throughput in performance mode).
-    fn energy_delta(&self, old: f64, new: f64) -> f64 {
-        let eps = 1e-9;
-        match self.config.signal {
-            SignalMode::Performance => (new - old) / old.abs().max(eps),
-            SignalMode::Diagnostic => (old - new) / new.abs().max(eps),
+    fn rankable_counters(&self) -> Vec<String> {
+        // One fixed guiding formula: the annealing outer loop runs
+        // un-targeted schedules and spends no ranking probes.
+        Vec::new()
+    }
+
+    fn mfs_identity(mfs: &FabricMfs) -> (Symptom, bool) {
+        (mfs.symptom, mfs.cross_host)
+    }
+
+    fn mfs_is_empty(mfs: &FabricMfs) -> bool {
+        mfs.is_empty()
+    }
+
+    fn mfs_matches(mfs: &FabricMfs, point: &FabricPoint) -> bool {
+        mfs.matches(point)
+    }
+
+    fn begin_extraction(
+        &mut self,
+        _anomalous: &FabricPoint,
+        identity: &(Symptom, bool),
+        _cost: &mut ExtractionCost,
+    ) -> FabricSignature {
+        // The fabric signature is the identity itself — no reference
+        // experiment is charged.
+        FabricSignature {
+            symptom: identity.0,
+            cross_host: identity.1,
         }
     }
 
-    fn finish(self, label: String) -> (FabricOutcome, EvalStats) {
-        let stats = self.evaluator.stats();
-        (
-            FabricOutcome {
-                label,
-                discoveries: self.discoveries,
-                trace: self.trace,
-                experiments: self.experiments,
-                skipped_by_mfs: self.skipped,
-                elapsed: self.elapsed,
-            },
-            stats,
-        )
+    fn reproduces(&mut self, probe: &FabricPoint, signature: &FabricSignature) -> bool {
+        let (_, verdict) = self.evaluator.measure_and_assess(self.monitor, probe);
+        signature.matches(&verdict)
     }
-}
 
-/// How many redundant (MFS-covered) samples the random baseline may reject
-/// in a row before testing the next sample anyway.
-const MAX_CONSECUTIVE_SKIPS: u32 = 256;
-
-fn run_random(campaign: &mut FabricCampaign<'_>) {
-    let mut consecutive_skips = 0u32;
-    while !campaign.out_of_budget() {
-        let point = campaign.space.random_point(&mut campaign.rng);
-        if consecutive_skips < MAX_CONSECUTIVE_SKIPS && campaign.matches_known_mfs(&point) {
-            consecutive_skips += 1;
-            continue;
-        }
-        consecutive_skips = 0;
-        if campaign.measure(&point).is_none() {
-            break;
+    fn make_mfs(
+        &self,
+        identity: &(Symptom, bool),
+        conditions: BTreeMap<FabricFeature, FeatureCondition>,
+        example: FabricPoint,
+    ) -> FabricMfs {
+        FabricMfs {
+            symptom: identity.0,
+            cross_host: identity.1,
+            conditions,
+            example,
         }
     }
-}
 
-/// Bounded re-draws applied to the post-discovery restart.
-const MAX_RESTART_REDRAWS: usize = 8;
-
-fn draw_restart_point(campaign: &mut FabricCampaign<'_>) -> FabricPoint {
-    let mut point = campaign.space.random_point(&mut campaign.rng);
-    for _ in 0..MAX_RESTART_REDRAWS {
-        if !campaign.matches_known_mfs(&point) {
-            return point;
+    fn make_discovery(
+        &self,
+        at: SimDuration,
+        point: FabricPoint,
+        identity: (Symptom, bool),
+        mfs: FabricMfs,
+        matched_rules: Vec<String>,
+    ) -> FabricDiscovery {
+        FabricDiscovery {
+            at,
+            point,
+            symptom: identity.0,
+            cross_host: identity.1,
+            mfs,
+            matched_rules,
         }
-        point = campaign.space.random_point(&mut campaign.rng);
-    }
-    point
-}
-
-fn run_annealing(campaign: &mut FabricCampaign<'_>) {
-    while !campaign.out_of_budget() {
-        anneal_schedule(campaign);
-    }
-}
-
-/// Consecutive MFS-skipped proposals after which the walk abandons its
-/// neighbourhood. A walk sitting next to a discovered MFS region keeps
-/// proposing points inside it; the skips are free, but the walk makes no
-/// progress — after this many in a row it restarts from a fresh point.
-const MAX_STUCK_SKIPS: u32 = 24;
-
-fn anneal_schedule(campaign: &mut FabricCampaign<'_>) {
-    let config = campaign.config.clone();
-    let mut current = campaign.space.random_point(&mut campaign.rng);
-    let Some(measurement) = campaign.measure(&current) else {
-        return;
-    };
-    let mut current_value = campaign.signal_value(&measurement);
-
-    let mut temperature = config.initial_temperature;
-    let mut stuck_skips = 0u32;
-    while temperature > config.min_temperature {
-        for _ in 0..config.iterations_per_temperature {
-            if campaign.out_of_budget() {
-                return;
-            }
-            let candidate = campaign.space.mutate(&current, &mut campaign.rng);
-            if campaign.matches_known_mfs(&candidate) {
-                stuck_skips += 1;
-                if stuck_skips >= MAX_STUCK_SKIPS {
-                    stuck_skips = 0;
-                    current = draw_restart_point(campaign);
-                    if let Some(m) = campaign.measure(&current) {
-                        current_value = campaign.signal_value(&m);
-                    }
-                }
-                continue;
-            }
-            stuck_skips = 0;
-            let discoveries_before = campaign.discoveries.len();
-            let Some(measurement) = campaign.measure(&candidate) else {
-                return;
-            };
-            let candidate_value = campaign.signal_value(&measurement);
-
-            // A new anomaly restarts the walk from a fresh random point.
-            if campaign.discoveries.len() > discoveries_before {
-                current = draw_restart_point(campaign);
-                if let Some(m) = campaign.measure(&current) {
-                    current_value = campaign.signal_value(&m);
-                }
-                continue;
-            }
-
-            let delta = campaign.energy_delta(current_value, candidate_value);
-            let accept = if delta < 0.0 {
-                true
-            } else {
-                let probability = (-delta / temperature.max(1e-6)).exp();
-                campaign.rng.gen_f64() < probability
-            };
-            if accept {
-                current = candidate;
-                current_value = candidate_value;
-            }
-        }
-        temperature *= config.alpha;
     }
 }
 
@@ -373,15 +313,36 @@ pub fn run_fabric_search_with_stats(
     space: &FabricSpace,
     config: &SearchConfig,
 ) -> (FabricOutcome, EvalStats) {
+    // The two-host legacy-compat knobs never describe a fabric behaviour:
+    // the fabric stack always had identity-keyed dedup and a stuck-walk
+    // escape (that is what the fig7 golden fixtures pin). Enforce both so
+    // a config built with `with_legacy_two_host_semantics()` for the
+    // two-host compat grids cannot silently select a fabric mode that
+    // never existed. An explicit non-default escape threshold is honoured.
+    let config = &SearchConfig {
+        identity_dedup: true,
+        stuck_skip_limit: config.stuck_skip_limit.or(Some(24)),
+        ..config.clone()
+    };
     let monitor = AnomalyMonitor::new();
-    let mut campaign = FabricCampaign::new(engine, space, &monitor, config);
+    let mut evaluator = if config.memoize {
+        FabricEvaluator::new(engine)
+    } else {
+        FabricEvaluator::uncached(engine)
+    };
+    let domain = FabricDomain::new(&mut evaluator, &monitor, space, config.signal);
+    let mut campaign = CampaignLoop::new(domain, config);
     match config.strategy {
         SearchStrategy::SimulatedAnnealing => run_annealing(&mut campaign),
         // The BO surrogate is not ported to the fabric space; its cells run
         // the random baseline so grids stay rectangular.
         SearchStrategy::Random | SearchStrategy::Bayesian => run_random(&mut campaign),
     }
-    campaign.finish(format!("{} fabric", config.label()))
+    let stats = campaign.eval_stats();
+    (
+        FabricOutcome::from_report(format!("{} fabric", config.label()), campaign.finish()),
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -390,7 +351,7 @@ mod tests {
     use super::*;
     use crate::space::SearchPoint;
     use collie_rnic::subsystems::SubsystemId;
-    use std::collections::BTreeMap;
+    use collie_sim::rng::SimRng;
 
     fn setup() -> (FabricEngine, FabricSpace, AnomalyMonitor, SearchConfig) {
         (
@@ -401,13 +362,25 @@ mod tests {
         )
     }
 
+    /// Build a campaign loop over a freshly bound fabric domain.
+    macro_rules! campaign {
+        ($engine:expr, $evaluator:ident, $space:expr, $monitor:expr, $config:expr) => {{
+            $evaluator = FabricEvaluator::new($engine);
+            CampaignLoop::new(
+                FabricDomain::new(&mut $evaluator, $monitor, $space, $config.signal),
+                $config,
+            )
+        }};
+    }
+
     #[test]
     fn measuring_an_anomalous_fabric_point_records_a_discovery_with_mfs() {
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = FabricCampaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         let point = cross_host_culprit();
         campaign.measure(&point).unwrap();
-        let (outcome, _) = campaign.finish("test".to_string());
+        let outcome = FabricOutcome::from_report("test".to_string(), campaign.finish());
         assert_eq!(outcome.discoveries.len(), 1);
         let d = &outcome.discoveries[0];
         assert!(d.cross_host);
@@ -422,7 +395,8 @@ mod tests {
     #[test]
     fn repeated_sightings_of_the_same_fabric_anomaly_count_once() {
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = FabricCampaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         let point = cross_host_culprit();
         campaign.measure(&point).unwrap();
         // A harsher variant inside the same MFS (wider fabric).
@@ -431,7 +405,7 @@ mod tests {
         harsher.incast_degree = 6;
         if campaign.matches_known_mfs(&harsher) {
             campaign.measure(&harsher).unwrap();
-            let (outcome, _) = campaign.finish("test".to_string());
+            let outcome = FabricOutcome::from_report("test".to_string(), campaign.finish());
             assert_eq!(outcome.discoveries.len(), 1);
             assert_eq!(outcome.skipped_by_mfs, 1);
         }
@@ -443,8 +417,9 @@ mod tests {
         // that ends with no conditions matches the whole space vacuously
         // and must be excluded from both the skip and the dedup.
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = FabricCampaign::new(&mut engine, &space, &monitor, &config);
-        campaign.mfs_set.push(FabricMfs {
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
+        campaign.plant_mfs(FabricMfs {
             symptom: Symptom::PauseStorm,
             cross_host: true,
             conditions: BTreeMap::new(),
@@ -453,7 +428,7 @@ mod tests {
         let point = cross_host_culprit();
         assert!(!campaign.matches_known_mfs(&point));
         campaign.measure(&point).unwrap();
-        let (outcome, _) = campaign.finish("test".to_string());
+        let outcome = FabricOutcome::from_report("test".to_string(), campaign.finish());
         assert_eq!(
             outcome.discoveries.len(),
             1,
@@ -466,7 +441,8 @@ mod tests {
     fn budget_is_enforced() {
         let (mut engine, space, monitor, _) = setup();
         let config = SearchConfig::collie(3).with_budget(SimDuration::from_secs(45));
-        let mut campaign = FabricCampaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         let p = FabricPoint::two_host(SearchPoint::benign());
         assert!(campaign.measure(&p).is_some());
         campaign.measure(&p);
@@ -516,12 +492,47 @@ mod tests {
     }
 
     #[test]
+    fn legacy_two_host_knobs_cannot_select_a_nonexistent_fabric_mode() {
+        // `with_legacy_two_host_semantics()` exists solely for the
+        // two-host golden compat grids; the fabric stack always had
+        // identity-keyed dedup and the stuck-walk escape, so the runner
+        // normalises the knobs away and the campaign is bit-identical to
+        // the default configuration.
+        let space = FabricSpace::for_host(&SubsystemId::F.host());
+        let config = SearchConfig::collie(42).with_budget(SimDuration::from_secs(1800));
+        let mut a_engine = FabricEngine::for_catalog(SubsystemId::F);
+        let a = run_fabric_search(&mut a_engine, &space, &config);
+        let mut b_engine = FabricEngine::for_catalog(SubsystemId::F);
+        let b = run_fabric_search(
+            &mut b_engine,
+            &space,
+            &config.clone().with_legacy_two_host_semantics(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn local_storm_discoveries_are_not_labelled_cross_host() {
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = FabricCampaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         campaign.measure(&storming_culprit()).unwrap();
-        let (outcome, _) = campaign.finish("test".to_string());
+        let outcome = FabricOutcome::from_report("test".to_string(), campaign.finish());
         assert_eq!(outcome.discoveries.len(), 1);
         assert!(!outcome.discoveries[0].cross_host);
+    }
+
+    #[test]
+    fn a_two_host_mutation_walk_explores_the_fabric_dims() {
+        // Domain sanity: the kernel's mutate delegates to the fabric
+        // space, so a walk reaches all 18 coordinates.
+        let (_, space, _, _) = setup();
+        let mut rng = SimRng::new(9);
+        let base = space.random_point(&mut rng);
+        let mut shapes = std::collections::HashSet::new();
+        for _ in 0..300 {
+            shapes.insert(space.mutate(&base, &mut rng).shape());
+        }
+        assert!(shapes.len() > 3, "fabric dims should be reachable");
     }
 }

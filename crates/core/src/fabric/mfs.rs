@@ -14,9 +14,11 @@
 //! different) self-evident local storm when a probe merely pushes the
 //! culprit over its own throughput threshold.
 
-use super::{FabricEngine, FabricEvaluator, FabricVerdict};
+use super::campaign::FabricDomain;
+use super::{FabricEvaluator, FabricVerdict};
 use crate::monitor::{AnomalyMonitor, FeatureCondition, Symptom};
-use crate::space::{FabricFeature, FabricPoint, FabricSpace, FeatureValue};
+use crate::search::SignalMode;
+use crate::space::{FabricFeature, FabricPoint, FabricSpace};
 use collie_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -39,20 +41,9 @@ pub struct FabricMfs {
 impl FabricMfs {
     /// True if `point` satisfies every condition of this MFS.
     pub fn matches(&self, point: &FabricPoint) -> bool {
-        self.conditions.iter().all(|(feature, condition)| {
-            let value = point.feature_value(*feature);
-            match condition {
-                FeatureCondition::Equals(expected) => &value == expected,
-                FeatureCondition::AtLeast(threshold) => match value {
-                    FeatureValue::Number(n) => n >= *threshold,
-                    _ => false,
-                },
-                FeatureCondition::AtMost(threshold) => match value {
-                    FeatureValue::Number(n) => n <= *threshold,
-                    _ => false,
-                },
-            }
-        })
+        self.conditions
+            .iter()
+            .all(|(feature, condition)| condition.admits(&point.feature_value(*feature)))
     }
 
     /// Human-readable condition list.
@@ -81,13 +72,13 @@ impl FabricMfs {
 
 /// The observable identity probes are compared against.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct FabricSignature {
-    symptom: Symptom,
-    cross_host: bool,
+pub struct FabricSignature {
+    pub(crate) symptom: Symptom,
+    pub(crate) cross_host: bool,
 }
 
 impl FabricSignature {
-    fn matches(self, verdict: &FabricVerdict) -> bool {
+    pub(crate) fn matches(self, verdict: &FabricVerdict) -> bool {
         verdict.symptom == Some(self.symptom) && verdict.cross_host == self.cross_host
     }
 }
@@ -104,6 +95,11 @@ pub struct FabricExtractionOutcome {
 }
 
 /// Extracts fabric MFSes by probing through a shared memoized evaluator.
+///
+/// This is the fabric convenience binding of the generic
+/// [`kernel::MfsExtractor`](crate::search::kernel::MfsExtractor): it holds
+/// the evaluator/monitor/space triple and instantiates the generic prober
+/// over a [`FabricDomain`] per extraction.
 pub struct FabricMfsExtractor<'a, 'e> {
     evaluator: &'a mut FabricEvaluator<'e>,
     monitor: &'a AnomalyMonitor,
@@ -130,18 +126,6 @@ impl<'a, 'e> FabricMfsExtractor<'a, 'e> {
         }
     }
 
-    fn probe(
-        &mut self,
-        point: &FabricPoint,
-        signature: FabricSignature,
-        cost: &mut (u32, SimDuration),
-    ) -> bool {
-        cost.0 += 1;
-        cost.1 += FabricEngine::experiment_cost(point);
-        let (_, verdict) = self.evaluator.measure_and_assess(self.monitor, point);
-        signature.matches(&verdict)
-    }
-
     /// Extract the MFS of an anomalous fabric point.
     pub fn extract(
         &mut self,
@@ -149,146 +133,23 @@ impl<'a, 'e> FabricMfsExtractor<'a, 'e> {
         symptom: Symptom,
         cross_host: bool,
     ) -> FabricExtractionOutcome {
-        let mut cost = (0u32, SimDuration::ZERO);
-        let signature = FabricSignature {
-            symptom,
-            cross_host,
-        };
-        let mut conditions = BTreeMap::new();
-
-        for feature in FabricFeature::all() {
-            match anomalous.feature_value(feature) {
-                FeatureValue::Number(current) => {
-                    if let Some(condition) =
-                        self.probe_numeric(anomalous, feature, current, signature, &mut cost)
-                    {
-                        conditions.insert(feature, condition);
-                    }
-                }
-                current => {
-                    if let Some(condition) =
-                        self.probe_categorical(anomalous, feature, current, signature, &mut cost)
-                    {
-                        conditions.insert(feature, condition);
-                    }
-                }
-            }
-        }
-
+        // The signal mode only affects campaign guidance, never extraction
+        // (the fabric signature is the (symptom, cross-host) identity);
+        // any mode binds the same probing behaviour.
+        let mut domain = FabricDomain::new(
+            &mut *self.evaluator,
+            self.monitor,
+            self.space,
+            SignalMode::Diagnostic,
+        );
+        let parts = crate::search::kernel::MfsExtractor::new(&mut domain)
+            .with_limits(self.max_alternatives, self.max_bisection_steps)
+            .extract(anomalous, &(symptom, cross_host));
         FabricExtractionOutcome {
-            mfs: FabricMfs {
-                symptom,
-                cross_host,
-                conditions,
-                example: anomalous.clone(),
-            },
-            experiments: cost.0,
-            elapsed: cost.1,
+            mfs: parts.mfs,
+            experiments: parts.experiments,
+            elapsed: parts.elapsed,
         }
-    }
-
-    fn probe_categorical(
-        &mut self,
-        anomalous: &FabricPoint,
-        feature: FabricFeature,
-        current: FeatureValue,
-        signature: FabricSignature,
-        cost: &mut (u32, SimDuration),
-    ) -> Option<FeatureCondition> {
-        let alternatives = self.space.alternatives(anomalous, feature);
-        if alternatives.is_empty() {
-            return None;
-        }
-        for alt in alternatives.iter().take(self.max_alternatives) {
-            let mut probe = anomalous.clone();
-            probe.apply(feature, alt);
-            if self.probe(&probe, signature, cost) {
-                return None;
-            }
-        }
-        Some(FeatureCondition::Equals(current))
-    }
-
-    fn probe_numeric(
-        &mut self,
-        anomalous: &FabricPoint,
-        feature: FabricFeature,
-        current: u64,
-        signature: FabricSignature,
-        cost: &mut (u32, SimDuration),
-    ) -> Option<FeatureCondition> {
-        let ladder: Vec<u64> = self
-            .space
-            .alternatives(anomalous, feature)
-            .into_iter()
-            .filter_map(|v| match v {
-                FeatureValue::Number(n) => Some(n),
-                _ => None,
-            })
-            .collect();
-        if ladder.is_empty() {
-            return None;
-        }
-        let lowest = *ladder.iter().min().unwrap();
-        let highest = *ladder.iter().max().unwrap();
-
-        let triggers_at = |this: &mut Self, value: u64, cost: &mut (u32, SimDuration)| {
-            if value == current {
-                return true;
-            }
-            let mut probe = anomalous.clone();
-            probe.apply(feature, &FeatureValue::Number(value));
-            this.probe(&probe, signature, cost)
-        };
-
-        let low_triggers = triggers_at(self, lowest.min(current), cost);
-        let high_triggers = triggers_at(self, highest.max(current), cost);
-
-        match (low_triggers, high_triggers) {
-            (true, true) => None,
-            (false, true) => Some(FeatureCondition::AtLeast(
-                self.bisect(anomalous, feature, &ladder, current, signature, cost, true),
-            )),
-            (true, false) => Some(FeatureCondition::AtMost(
-                self.bisect(anomalous, feature, &ladder, current, signature, cost, false),
-            )),
-            (false, false) => Some(FeatureCondition::Equals(FeatureValue::Number(current))),
-        }
-    }
-
-    /// Coarse threshold search between the failing end of the ladder and
-    /// the current (triggering) value.
-    #[allow(clippy::too_many_arguments)]
-    fn bisect(
-        &mut self,
-        anomalous: &FabricPoint,
-        feature: FabricFeature,
-        ladder: &[u64],
-        current: u64,
-        signature: FabricSignature,
-        cost: &mut (u32, SimDuration),
-        at_least: bool,
-    ) -> u64 {
-        let mut candidates: Vec<u64> = ladder
-            .iter()
-            .copied()
-            .filter(|&v| if at_least { v < current } else { v > current })
-            .collect();
-        candidates.sort_unstable();
-        if at_least {
-            candidates.reverse();
-        }
-        let mut threshold = current;
-        for value in candidates.into_iter().take(self.max_bisection_steps) {
-            let mut probe = anomalous.clone();
-            probe.apply(feature, &FeatureValue::Number(value));
-            if self.probe(&probe, signature, cost) {
-                threshold = value;
-            } else {
-                break;
-            }
-        }
-        threshold
     }
 }
 
@@ -296,7 +157,7 @@ impl<'a, 'e> FabricMfsExtractor<'a, 'e> {
 mod tests {
     use super::super::tests::{cross_host_culprit, storming_culprit};
     use super::*;
-    use crate::fabric::assess_fabric;
+    use crate::fabric::{assess_fabric, FabricEngine};
     use collie_rnic::subsystems::SubsystemId;
 
     fn extract_for(point: &FabricPoint) -> FabricExtractionOutcome {

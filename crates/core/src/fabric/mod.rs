@@ -30,9 +30,9 @@ mod campaign;
 mod mfs;
 
 pub use campaign::{
-    run_fabric_search, run_fabric_search_with_stats, FabricDiscovery, FabricOutcome,
+    run_fabric_search, run_fabric_search_with_stats, FabricDiscovery, FabricDomain, FabricOutcome,
 };
-pub use mfs::{FabricExtractionOutcome, FabricMfs, FabricMfsExtractor};
+pub use mfs::{FabricExtractionOutcome, FabricMfs, FabricMfsExtractor, FabricSignature};
 
 use crate::engine::WorkloadEngine;
 use crate::eval::EvalStats;

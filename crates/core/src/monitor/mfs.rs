@@ -15,10 +15,17 @@
 //! the condition (at-least or at-most) and then take a few bisection steps
 //! to find the coarse threshold, exactly as the paper discretises
 //! continuous dimensions into value regions.
+//!
+//! The probing algorithm itself is domain-generic and lives in
+//! [`kernel::MfsExtractor`](crate::search::kernel::MfsExtractor); this
+//! module owns the two-host MFS *type* and the [`MfsExtractor`] convenience
+//! wrapper that binds the generic extractor to an evaluator, monitor, and
+//! space (the fabric counterpart is
+//! [`FabricMfsExtractor`](crate::fabric::FabricMfsExtractor)).
 
 use super::anomaly::{AnomalyMonitor, Symptom};
-use crate::engine::WorkloadEngine;
 use crate::eval::Evaluator;
+use crate::search::{SignalMode, WorkloadDomain};
 use crate::space::{Feature, FeatureValue, SearchPoint, SearchSpace};
 use collie_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -35,6 +42,25 @@ pub enum FeatureCondition {
     AtLeast(u64),
     /// The feature's numeric value must be at most this large.
     AtMost(u64),
+}
+
+impl FeatureCondition {
+    /// True if `value` satisfies this condition. The one shared matching
+    /// rule both the two-host [`Mfs`] and the fabric
+    /// [`FabricMfs`](crate::fabric::FabricMfs) apply per feature.
+    pub fn admits(&self, value: &FeatureValue) -> bool {
+        match self {
+            FeatureCondition::Equals(expected) => value == expected,
+            FeatureCondition::AtLeast(threshold) => match value {
+                FeatureValue::Number(n) => n >= threshold,
+                _ => false,
+            },
+            FeatureCondition::AtMost(threshold) => match value {
+                FeatureValue::Number(n) => n <= threshold,
+                _ => false,
+            },
+        }
+    }
 }
 
 impl fmt::Display for FeatureCondition {
@@ -63,20 +89,9 @@ impl Mfs {
     /// True if `point` satisfies every condition of this MFS (and would
     /// therefore be skipped by the search as a redundant test).
     pub fn matches(&self, point: &SearchPoint) -> bool {
-        self.conditions.iter().all(|(feature, condition)| {
-            let value = point.feature_value(*feature);
-            match condition {
-                FeatureCondition::Equals(expected) => &value == expected,
-                FeatureCondition::AtLeast(threshold) => match value {
-                    FeatureValue::Number(n) => n >= *threshold,
-                    _ => false,
-                },
-                FeatureCondition::AtMost(threshold) => match value {
-                    FeatureValue::Number(n) => n <= *threshold,
-                    _ => false,
-                },
-            }
-        })
+        self.conditions
+            .iter()
+            .all(|(feature, condition)| condition.admits(&point.feature_value(*feature)))
     }
 
     /// Human-readable condition list, one line per condition.
@@ -107,14 +122,16 @@ impl Mfs {
 /// workload was measured. Probes must reproduce both for a feature to be
 /// judged irrelevant.
 #[derive(Debug, Clone, PartialEq)]
-struct ReproductionSignature {
-    symptom: Symptom,
-    dominant_counter: Option<String>,
+pub struct ReproductionSignature {
+    pub(crate) symptom: Symptom,
+    pub(crate) dominant_counter: Option<String>,
 }
 
 /// The diagnostic counter with the largest value in a measurement, if any
 /// diagnostic counter is non-zero.
-fn dominant_diag_counter(measurement: &collie_rnic::subsystem::Measurement) -> Option<String> {
+pub(crate) fn dominant_diag_counter(
+    measurement: &collie_rnic::subsystem::Measurement,
+) -> Option<String> {
     measurement
         .counters
         .iter()
@@ -126,6 +143,11 @@ fn dominant_diag_counter(measurement: &collie_rnic::subsystem::Measurement) -> O
 }
 
 /// Extracts MFSes by probing the subsystem.
+///
+/// This is the two-host convenience binding of the generic
+/// [`kernel::MfsExtractor`](crate::search::kernel::MfsExtractor): it holds
+/// the evaluator/monitor/space triple and instantiates the generic prober
+/// over a [`WorkloadDomain`] per extraction.
 ///
 /// Probes run through a shared [`Evaluator`], which matters for cost: the
 /// extractor is the heaviest revisiter in a campaign — it re-measures the
@@ -176,212 +198,32 @@ impl<'a, 'e> MfsExtractor<'a, 'e> {
         }
     }
 
-    /// Run one probe experiment and report whether it still reproduces the
-    /// anomaly under extraction.
-    ///
-    /// "Reproduces" means the probe shows the *same observable identity*:
-    /// the same end-to-end symptom and the same dominant diagnostic
-    /// counter. Requiring only "some anomaly" would make almost every
-    /// feature look irrelevant on hosts where several bottlenecks can be
-    /// tripped at once (a probe that swaps UD for RC and then pauses
-    /// because of the PCIe-ordering bottleneck is evidence of a *different*
-    /// anomaly, not evidence that the transport does not matter). Both
-    /// parts of the signature are observable without any hardware
-    /// knowledge, exactly like the counters the search itself uses.
-    ///
-    /// Probes are ordinary monitored iterations, so they follow the §6
-    /// four-sample procedure; the shared evaluator's cache makes the
-    /// repeats free.
-    fn probe(
-        &mut self,
-        point: &SearchPoint,
-        signature: &ReproductionSignature,
-        counters: &mut (u32, SimDuration),
-    ) -> bool {
-        counters.0 += 1;
-        counters.1 += WorkloadEngine::experiment_cost(point);
-        let (measurement, verdict) = self.evaluator.measure_and_assess(self.monitor, point);
-        if verdict.symptom != Some(signature.symptom) {
-            return false;
-        }
-        match &signature.dominant_counter {
-            Some(reference) => dominant_diag_counter(&measurement).as_deref() == Some(reference),
-            None => true,
-        }
-    }
-
     /// Extract the MFS of an anomalous point.
     pub fn extract(&mut self, anomalous: &SearchPoint, symptom: Symptom) -> ExtractionOutcome {
-        let mut cost = (0u32, SimDuration::ZERO);
-        let mut conditions = BTreeMap::new();
-
-        // One extra experiment to capture the anomaly's observable identity
-        // (symptom + dominant diagnostic counter) that every probe is
-        // compared against.
-        cost.0 += 1;
-        cost.1 += WorkloadEngine::experiment_cost(anomalous);
-        let reference = self.evaluator.measure(anomalous);
-        let signature = ReproductionSignature {
-            symptom,
-            dominant_counter: dominant_diag_counter(&reference),
-        };
-
-        for feature in Feature::ALL {
-            match anomalous.feature_value(feature) {
-                FeatureValue::Number(current) => {
-                    if let Some(condition) =
-                        self.probe_numeric(anomalous, feature, current, &signature, &mut cost)
-                    {
-                        conditions.insert(feature, condition);
-                    }
-                }
-                current => {
-                    if let Some(condition) =
-                        self.probe_categorical(anomalous, feature, current, &signature, &mut cost)
-                    {
-                        conditions.insert(feature, condition);
-                    }
-                }
-            }
-        }
-
+        // The signal mode only affects campaign guidance, never extraction
+        // (the reproduction signature is always symptom + dominant
+        // diagnostic counter); any mode binds the same probing behaviour.
+        let mut domain = WorkloadDomain::new(
+            &mut *self.evaluator,
+            self.monitor,
+            self.space,
+            SignalMode::Diagnostic,
+        );
+        let parts = crate::search::kernel::MfsExtractor::new(&mut domain)
+            .with_limits(self.max_alternatives, self.max_bisection_steps)
+            .extract(anomalous, &symptom);
         ExtractionOutcome {
-            mfs: Mfs {
-                symptom,
-                conditions,
-                example: anomalous.clone(),
-            },
-            experiments: cost.0,
-            elapsed: cost.1,
+            mfs: parts.mfs,
+            experiments: parts.experiments,
+            elapsed: parts.elapsed,
         }
-    }
-
-    fn probe_categorical(
-        &mut self,
-        anomalous: &SearchPoint,
-        feature: Feature,
-        current: FeatureValue,
-        signature: &ReproductionSignature,
-        cost: &mut (u32, SimDuration),
-    ) -> Option<FeatureCondition> {
-        let alternatives = self.space.alternatives(anomalous, feature);
-        if alternatives.is_empty() {
-            return None;
-        }
-        let mut any_alternative_triggers = false;
-        for alt in alternatives.iter().take(self.max_alternatives) {
-            let mut probe = anomalous.clone();
-            probe.apply(feature, alt);
-            if self.probe(&probe, signature, cost) {
-                any_alternative_triggers = true;
-                break;
-            }
-        }
-        if any_alternative_triggers {
-            None
-        } else {
-            Some(FeatureCondition::Equals(current))
-        }
-    }
-
-    fn probe_numeric(
-        &mut self,
-        anomalous: &SearchPoint,
-        feature: Feature,
-        current: u64,
-        signature: &ReproductionSignature,
-        cost: &mut (u32, SimDuration),
-    ) -> Option<FeatureCondition> {
-        let ladder: Vec<u64> = self
-            .space
-            .alternatives(anomalous, feature)
-            .into_iter()
-            .filter_map(|v| match v {
-                FeatureValue::Number(n) => Some(n),
-                _ => None,
-            })
-            .collect();
-        if ladder.is_empty() {
-            return None;
-        }
-        let lowest = *ladder.iter().min().unwrap();
-        let highest = *ladder.iter().max().unwrap();
-
-        let triggers_at = |this: &mut Self, value: u64, cost: &mut (u32, SimDuration)| {
-            if value == current {
-                return true;
-            }
-            let mut probe = anomalous.clone();
-            probe.apply(feature, &FeatureValue::Number(value));
-            this.probe(&probe, signature, cost)
-        };
-
-        let low_triggers = triggers_at(self, lowest.min(current), cost);
-        let high_triggers = triggers_at(self, highest.max(current), cost);
-
-        match (low_triggers, high_triggers) {
-            // The feature's value does not matter.
-            (true, true) => None,
-            // Condition is "at least": find the coarse threshold between the
-            // lowest non-triggering rung and the current value.
-            (false, true) => {
-                let threshold = self.bisect(
-                    anomalous, feature, &ladder, current, signature, cost, /*at_least=*/ true,
-                );
-                Some(FeatureCondition::AtLeast(threshold))
-            }
-            // Condition is "at most".
-            (true, false) => {
-                let threshold = self.bisect(
-                    anomalous, feature, &ladder, current, signature, cost, /*at_least=*/ false,
-                );
-                Some(FeatureCondition::AtMost(threshold))
-            }
-            // Only the observed region triggers.
-            (false, false) => Some(FeatureCondition::Equals(FeatureValue::Number(current))),
-        }
-    }
-
-    /// Coarse threshold search over the rungs between the failing end of
-    /// the ladder and the current (triggering) value.
-    #[allow(clippy::too_many_arguments)]
-    fn bisect(
-        &mut self,
-        anomalous: &SearchPoint,
-        feature: Feature,
-        ladder: &[u64],
-        current: u64,
-        signature: &ReproductionSignature,
-        cost: &mut (u32, SimDuration),
-        at_least: bool,
-    ) -> u64 {
-        // Candidate rungs strictly between the far end and the current value.
-        let mut candidates: Vec<u64> = ladder
-            .iter()
-            .copied()
-            .filter(|&v| if at_least { v < current } else { v > current })
-            .collect();
-        candidates.sort_unstable();
-        if at_least {
-            candidates.reverse();
-        }
-        let mut threshold = current;
-        for value in candidates.into_iter().take(self.max_bisection_steps) {
-            let mut probe = anomalous.clone();
-            probe.apply(feature, &FeatureValue::Number(value));
-            if self.probe(&probe, signature, cost) {
-                threshold = value;
-            } else {
-                break;
-            }
-        }
-        threshold
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::WorkloadEngine;
     use collie_rnic::subsystems::SubsystemId;
     use collie_rnic::workload::{Opcode, Transport};
 

@@ -9,4 +9,6 @@ mod anomaly;
 mod mfs;
 
 pub use anomaly::{AnomalyMonitor, AnomalyThresholds, AnomalyVerdict, Symptom};
-pub use mfs::{FeatureCondition, Mfs, MfsExtractor};
+pub use mfs::{ExtractionOutcome, FeatureCondition, Mfs, MfsExtractor, ReproductionSignature};
+
+pub(crate) use mfs::dominant_diag_counter;

@@ -20,9 +20,15 @@
 //! changes the discrete dimensions cause — which is exactly the behaviour
 //! the evaluation section discusses.
 
-use super::campaign::Campaign;
+use crate::search::campaign::WorkloadDomain;
+use crate::search::kernel::CampaignLoop;
 use crate::space::SearchPoint;
 use collie_rnic::workload::{Opcode, Transport};
+
+/// The BO baseline runs on the two-host domain only: its surrogate encodes
+/// [`SearchPoint`]s into a numeric feature vector, which has no meaning for
+/// other domains (fabric grids map their BO cells to the random baseline).
+type Campaign<'a, 'b, 'c> = CampaignLoop<'a, WorkloadDomain<'b, 'c>>;
 
 /// Number of candidates proposed per round.
 const CANDIDATES_PER_ROUND: usize = 8;
@@ -32,25 +38,24 @@ const NEIGHBOURS: usize = 3;
 const EXPLORATION_WEIGHT: f64 = 0.3;
 
 /// Run the BO-style campaign until the budget is exhausted.
-pub(crate) fn run(campaign: &mut Campaign<'_>) {
-    let ranked = campaign.rank_counters(10);
-    if ranked.is_empty() {
-        return;
-    }
+pub(crate) fn run(campaign: &mut Campaign<'_, '_, '_>) {
+    // `ranked_targets` is never empty: a domain without rankable counters
+    // yields the single un-targeted schedule `[None]`.
+    let targets = campaign.ranked_targets(10);
     let maximize = matches!(
-        campaign.config.signal,
+        campaign.config().signal,
         crate::search::SignalMode::Diagnostic
     );
 
     let mut counter_index = 0usize;
     while !campaign.out_of_budget() {
-        let target = ranked[counter_index % ranked.len()].clone();
-        let measured = optimise_one_counter(campaign, &target, maximize);
+        let target = targets[counter_index % targets.len()].clone();
+        let measured = optimise_one_counter(campaign, target.as_deref(), maximize);
         // Once the discovered MFSes cover most of the proposal distribution
         // a pass can reject every candidate without running an experiment;
         // budget must still drain, so force one random measurement.
         if measured == 0 && !campaign.out_of_budget() {
-            let point = campaign.space.random_point(&mut campaign.rng);
+            let point = campaign.random_point();
             if campaign.measure(&point).is_none() {
                 return;
             }
@@ -60,7 +65,11 @@ pub(crate) fn run(campaign: &mut Campaign<'_>) {
 }
 
 /// Returns the number of experiments this pass actually ran.
-fn optimise_one_counter(campaign: &mut Campaign<'_>, target: &str, maximize: bool) -> u32 {
+fn optimise_one_counter(
+    campaign: &mut Campaign<'_, '_, '_>,
+    target: Option<&str>,
+    maximize: bool,
+) -> u32 {
     let mut measured = 0u32;
     // Seed the surrogate with a handful of random observations.
     let mut history: Vec<(Vec<f64>, SearchPoint, f64)> = Vec::new();
@@ -68,35 +77,35 @@ fn optimise_one_counter(campaign: &mut Campaign<'_>, target: &str, maximize: boo
         if campaign.out_of_budget() {
             return measured;
         }
-        let point = campaign.space.random_point(&mut campaign.rng);
+        let point = campaign.random_point();
         if campaign.matches_known_mfs(&point) {
             continue;
         }
         if let Some(m) = campaign.measure(&point) {
             measured += 1;
-            let value = campaign.signal_value(&m, Some(target));
+            let value = campaign.signal_value(&m, target);
             history.push((encode(&point), point, value));
         }
     }
 
     // Rounds proportional to the annealing schedule length so both
     // strategies spend comparable time per counter.
-    let rounds = campaign.config.iterations_per_temperature as usize * 12;
+    let rounds = campaign.config().iterations_per_temperature as usize * 12;
     for _ in 0..rounds {
         if campaign.out_of_budget() {
             return measured;
         }
         let best_point = best_of(&history, maximize)
             .cloned()
-            .unwrap_or_else(|| campaign.space.random_point(&mut campaign.rng));
+            .unwrap_or_else(|| campaign.random_point());
 
         // Propose candidates: exploit around the incumbent, explore randomly.
         let mut candidates = Vec::with_capacity(CANDIDATES_PER_ROUND);
         for i in 0..CANDIDATES_PER_ROUND {
             let candidate = if i % 2 == 0 {
-                campaign.space.mutate(&best_point, &mut campaign.rng)
+                campaign.mutate(&best_point)
             } else {
-                campaign.space.random_point(&mut campaign.rng)
+                campaign.random_point()
             };
             candidates.push(candidate);
         }
@@ -127,7 +136,7 @@ fn optimise_one_counter(campaign: &mut Campaign<'_>, target: &str, maximize: boo
             return measured;
         };
         measured += 1;
-        let value = campaign.signal_value(&m, Some(target));
+        let value = campaign.signal_value(&m, target);
         history.push((encode(&chosen), chosen, value));
         if campaign.discovery_count() > discoveries_before {
             // Like the annealing search, restart exploration after a find so

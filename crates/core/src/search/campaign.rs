@@ -1,25 +1,25 @@
-//! Shared campaign state and accounting.
+//! Two-host campaign outcomes and the two-host [`SearchDomain`] binding.
 //!
-//! Every strategy (random, BO, simulated annealing) runs inside a
-//! [`Campaign`]: it asks the campaign to measure points, the campaign
-//! charges the hardware-time cost, applies the MFS skip, detects anomalies,
-//! extracts their MFS, records the Figure-6 trace, and accumulates the
-//! discoveries. Keeping all of that here means the strategies differ only
-//! in how they pick the next point — which is exactly the comparison the
-//! paper's evaluation makes.
+//! Every strategy (random, BO, simulated annealing) runs inside the generic
+//! [`CampaignLoop`](crate::search::kernel::CampaignLoop): it asks the loop
+//! to measure points, the loop charges the hardware-time cost, applies the
+//! MFS skip, detects anomalies, extracts their MFS, records the Figure-6
+//! trace, and accumulates the discoveries. [`WorkloadDomain`] is the
+//! two-host instantiation — the paper's testbed of one sender/receiver pair
+//! over the four-dimensional workload space — and this module also owns the
+//! public outcome types ([`Discovery`], [`RuleHit`], [`SearchOutcome`]).
 
-use crate::engine::WorkloadEngine;
-use crate::eval::{EvalStats, Evaluator};
-use crate::monitor::{AnomalyMonitor, Mfs, MfsExtractor, Symptom};
-use crate::search::{SearchConfig, SignalMode};
-use crate::space::{SearchPoint, SearchSpace};
-use collie_rnic::subsystem::Measurement;
+use crate::eval::Evaluator;
+use crate::monitor::{dominant_diag_counter, ReproductionSignature};
+use crate::monitor::{AnomalyMonitor, FeatureCondition, Mfs, Symptom};
+use crate::search::domain::{CampaignReport, ExtractionCost, SearchDomain};
+use crate::search::SignalMode;
+use crate::space::{Feature, FeatureValue, SearchPoint, SearchSpace};
 use collie_sim::counters::CounterKind;
-use collie_sim::rng::SimRng;
 use collie_sim::series::TimeSeries;
-use collie_sim::stats::OnlineStats;
-use collie_sim::time::{SimDuration, SimTime};
+use collie_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 /// One anomaly discovered by a campaign.
@@ -80,6 +80,22 @@ pub struct SearchOutcome {
 }
 
 impl SearchOutcome {
+    /// Assemble the public outcome from a finished kernel report.
+    pub(crate) fn from_report(
+        label: String,
+        report: CampaignReport<WorkloadDomain<'_, '_>>,
+    ) -> Self {
+        SearchOutcome {
+            label,
+            discoveries: report.discoveries,
+            rule_hits: report.rule_hits,
+            trace: report.trace,
+            experiments: report.experiments,
+            skipped_by_mfs: report.skipped_by_mfs,
+            elapsed: report.elapsed,
+        }
+    }
+
     /// The distinct catalogued anomalies *found* by the campaign: the
     /// ground-truth rules matched by its discoveries — every anomalous
     /// workload that became a new minimal feature set, which is how the
@@ -136,177 +152,115 @@ impl SearchOutcome {
     }
 }
 
-/// Mutable state shared by every strategy.
-pub(crate) struct Campaign<'a> {
-    evaluator: Evaluator<'a>,
-    pub(crate) space: &'a SearchSpace,
-    pub(crate) monitor: &'a AnomalyMonitor,
-    pub(crate) config: &'a SearchConfig,
-    pub(crate) rng: SimRng,
-    traced_counter: &'static str,
-    elapsed: SimDuration,
-    experiments: u32,
-    skipped: u32,
-    discoveries: Vec<Discovery>,
-    rule_hits: Vec<RuleHit>,
-    hit_rules: BTreeSet<String>,
-    mfs_set: Vec<Mfs>,
-    trace: TimeSeries,
+/// The two-host search domain: the paper's testbed (one sender/receiver
+/// pair) over the four-dimensional workload space, guided by the RNIC's
+/// performance or diagnostic counters.
+///
+/// This is the [`SearchDomain`] binding the generic campaign kernel and MFS
+/// extractor instantiate for Figures 4–6: sampling and mutation delegate to
+/// the [`SearchSpace`], measurement runs through the memoized
+/// [`Evaluator`], the anomaly identity is the end-to-end [`Symptom`], and
+/// the extraction signature is the symptom plus the dominant diagnostic
+/// counter (so probes that trip a *different* bottleneck do not erase
+/// conditions).
+pub struct WorkloadDomain<'a, 'e> {
+    evaluator: &'a mut Evaluator<'e>,
+    monitor: &'a AnomalyMonitor,
+    space: &'a SearchSpace,
+    signal: SignalMode,
 }
 
-impl<'a> Campaign<'a> {
-    pub(crate) fn new(
-        engine: &'a mut WorkloadEngine,
-        space: &'a SearchSpace,
+impl<'a, 'e> WorkloadDomain<'a, 'e> {
+    /// Bind a two-host domain to an evaluator, monitor, space, and guiding
+    /// counter family.
+    pub fn new(
+        evaluator: &'a mut Evaluator<'e>,
         monitor: &'a AnomalyMonitor,
-        config: &'a SearchConfig,
+        space: &'a SearchSpace,
+        signal: SignalMode,
     ) -> Self {
-        let evaluator = if config.memoize {
-            Evaluator::new(engine)
-        } else {
-            Evaluator::uncached(engine)
-        };
-        let traced_counter = config.signal.traced_counter();
-        Campaign {
+        WorkloadDomain {
             evaluator,
-            space,
             monitor,
-            config,
-            rng: SimRng::new(config.seed),
-            traced_counter,
-            elapsed: SimDuration::ZERO,
-            experiments: 0,
-            skipped: 0,
-            discoveries: Vec::new(),
-            rule_hits: Vec::new(),
-            hit_rules: BTreeSet::new(),
-            mfs_set: Vec::new(),
-            trace: TimeSeries::new(traced_counter),
+            space,
+            signal,
         }
     }
+}
 
-    /// True once the simulated budget is spent.
-    pub(crate) fn out_of_budget(&self) -> bool {
-        self.elapsed >= self.config.budget
+impl SearchDomain for WorkloadDomain<'_, '_> {
+    type Point = SearchPoint;
+    type Feature = Feature;
+    type Measurement = collie_rnic::subsystem::Measurement;
+    type Identity = Symptom;
+    type Mfs = Mfs;
+    type Discovery = Discovery;
+    type Signature = ReproductionSignature;
+
+    fn random_point(&mut self, rng: &mut collie_sim::rng::SimRng) -> SearchPoint {
+        self.space.random_point(rng)
     }
 
-    /// True if the point falls inside an already-discovered anomaly's MFS
-    /// (Algorithm 1, line 5) and the MFS skip is enabled.
-    ///
-    /// An MFS that ended up with *no* necessary conditions (possible for a
-    /// compound-overload workload where every single-feature change still
-    /// reproduces the symptom) would match the entire space and starve the
-    /// search, so empty MFSes never participate in the skip.
-    pub(crate) fn matches_known_mfs(&mut self, point: &SearchPoint) -> bool {
-        if !self.config.use_mfs {
-            return false;
-        }
-        let matched = self
-            .mfs_set
-            .iter()
-            .any(|m| !m.is_empty() && m.matches(point));
-        if matched {
-            self.skipped += 1;
-        }
-        matched
+    fn mutate(&mut self, point: &SearchPoint, rng: &mut collie_sim::rng::SimRng) -> SearchPoint {
+        self.space.mutate(point, rng)
     }
 
-    /// Run one experiment: charge its hardware cost, record the trace, and
-    /// — if the point is anomalous — extract its MFS and log the discovery.
-    /// Returns the measurement (for the caller to read its guiding counter)
-    /// or `None` if the budget ran out before the experiment could run.
-    ///
-    /// Measurement follows the monitor's §6 procedure (four samples per
-    /// iteration); the evaluator's memo cache answers the repeat samples,
-    /// so the fidelity costs one flow-model evaluation, not four.
-    pub(crate) fn measure(&mut self, point: &SearchPoint) -> Option<Measurement> {
-        if self.out_of_budget() {
-            return None;
-        }
-        self.elapsed += WorkloadEngine::experiment_cost(point);
-        self.experiments += 1;
+    fn features(&self) -> Vec<Feature> {
+        Feature::ALL.to_vec()
+    }
+
+    fn feature_value(&self, point: &SearchPoint, feature: Feature) -> FeatureValue {
+        point.feature_value(feature)
+    }
+
+    fn apply(&self, point: &mut SearchPoint, feature: Feature, value: &FeatureValue) {
+        point.apply(feature, value);
+    }
+
+    fn alternatives(&self, point: &SearchPoint, feature: Feature) -> Vec<FeatureValue> {
+        self.space.alternatives(point, feature)
+    }
+
+    fn experiment_cost(&self, point: &SearchPoint) -> SimDuration {
+        crate::engine::WorkloadEngine::experiment_cost(point)
+    }
+
+    fn assess(&mut self, point: &SearchPoint) -> (Self::Measurement, Option<Symptom>) {
         let (measurement, verdict) = self.evaluator.measure_and_assess(self.monitor, point);
+        (measurement, verdict.symptom)
+    }
 
-        let trace_value = measurement
+    fn symptom(identity: &Symptom) -> Symptom {
+        *identity
+    }
+
+    fn ground_truth(&self, point: &SearchPoint) -> Vec<&'static str> {
+        self.evaluator.ground_truth(point)
+    }
+
+    fn eval_stats(&self) -> crate::eval::EvalStats {
+        self.evaluator.stats()
+    }
+
+    fn traced_counter(&self) -> &'static str {
+        self.signal.traced_counter()
+    }
+
+    fn trace_value(&self, measurement: &Self::Measurement) -> f64 {
+        measurement
             .counters
-            .value(self.traced_counter)
-            .unwrap_or(0.0);
-        let now = SimTime::ZERO + self.elapsed;
-        if let Some(symptom) = verdict.symptom {
-            self.trace.record_anomaly(now, trace_value);
-            self.record_rule_hits(point);
-            self.handle_anomaly(point, symptom);
-        } else {
-            self.trace.record(now, trace_value);
-        }
-        Some(measurement)
+            .value(self.traced_counter())
+            .unwrap_or(0.0)
     }
 
-    /// Scoring bookkeeping: note the first time each catalogued anomaly was
-    /// triggered by a measured experiment. Never consulted by the search.
-    fn record_rule_hits(&mut self, point: &SearchPoint) {
-        let at = self.elapsed;
-        for rule in self.evaluator.ground_truth(point) {
-            if self.hit_rules.insert(rule.to_string()) {
-                self.rule_hits.push(RuleHit {
-                    at,
-                    rule: rule.to_string(),
-                });
-            }
-        }
-    }
-
-    fn handle_anomaly(&mut self, point: &SearchPoint, symptom: Symptom) {
-        // Already covered by a known MFS? Then this is a redundant sighting
-        // of an anomaly we have, not a new discovery. An *empty* MFS matches
-        // vacuously and must not take part in this dedup — one degenerate
-        // extraction would otherwise mark every later anomaly redundant and
-        // silence the rest of the campaign (same guard as
-        // [`Campaign::matches_known_mfs`]).
-        if self
-            .mfs_set
-            .iter()
-            .any(|m| !m.is_empty() && m.matches(point))
-        {
-            return;
-        }
-        let found_at = self.elapsed;
-        let outcome = {
-            let mut extractor = MfsExtractor::new(&mut self.evaluator, self.monitor, self.space);
-            extractor.extract(point, symptom)
-        };
-        // MFS extraction takes real experiments on real hardware; charge
-        // them (this is the flat segment after each red cross in Figure 6).
-        self.elapsed += outcome.elapsed;
-        self.experiments += outcome.experiments;
-        let trace_value = self.trace.samples().last().map(|s| s.value).unwrap_or(0.0);
-        self.trace.record(SimTime::ZERO + self.elapsed, trace_value);
-
-        let matched_rules = self
-            .evaluator
-            .ground_truth(point)
-            .into_iter()
-            .map(|r| r.to_string())
-            .collect();
-        self.mfs_set.push(outcome.mfs.clone());
-        self.discoveries.push(Discovery {
-            at: found_at,
-            point: point.clone(),
-            symptom,
-            mfs: outcome.mfs,
-            matched_rules,
-        });
-    }
-
-    /// The guiding-counter value of a measurement under the configured
-    /// signal mode: the sum of diagnostic counters to maximise, or the sum
-    /// of performance counters to minimise, depending on the mode — or one
+    /// The sum of diagnostic counters to maximise, or the sum of
+    /// performance counters to minimise, depending on the mode — or one
     /// specific counter when `target` names it.
-    pub(crate) fn signal_value(&self, measurement: &Measurement, target: Option<&str>) -> f64 {
+    fn signal_value(&self, measurement: &Self::Measurement, target: Option<&str>) -> f64 {
         if let Some(name) = target {
             return measurement.counters.value(name).unwrap_or(0.0);
         }
-        let kind = match self.config.signal {
+        let kind = match self.signal {
             SignalMode::Performance => CounterKind::Performance,
             SignalMode::Diagnostic => CounterKind::Diagnostic,
         };
@@ -318,79 +272,95 @@ impl<'a> Campaign<'a> {
             .sum()
     }
 
-    /// The energy delta of Algorithm 1: negative means the new point is
-    /// better (higher diagnostic counter / lower performance counter).
-    pub(crate) fn energy_delta(&self, old: f64, new: f64) -> f64 {
-        let eps = 1e-9;
-        match self.config.signal {
-            SignalMode::Performance => (new - old) / old.abs().max(eps),
-            SignalMode::Diagnostic => (old - new) / new.abs().max(eps),
-        }
-    }
-
-    /// Rank the counters of the configured family by coefficient of
-    /// variation over `probes` random experiments (the procedure §7.2 uses
-    /// to decide which diagnostic counter to optimise first).
-    pub(crate) fn rank_counters(&mut self, probes: usize) -> Vec<String> {
-        let kind = match self.config.signal {
+    fn rankable_counters(&self) -> Vec<String> {
+        let kind = match self.signal {
             SignalMode::Performance => CounterKind::Performance,
             SignalMode::Diagnostic => CounterKind::Diagnostic,
         };
-        let names: Vec<String> = self
-            .evaluator
+        self.evaluator
             .subsystem()
             .registry()
             .names(kind)
             .into_iter()
-            .collect();
-        let mut stats: Vec<OnlineStats> = vec![OnlineStats::new(); names.len()];
-        for _ in 0..probes {
-            if self.out_of_budget() {
-                break;
-            }
-            let point = self.space.random_point(&mut self.rng);
-            if let Some(measurement) = self.measure(&point) {
-                for (i, name) in names.iter().enumerate() {
-                    stats[i].push(measurement.counters.value(name).unwrap_or(0.0));
-                }
-            }
+            .collect()
+    }
+
+    fn mfs_identity(mfs: &Mfs) -> Symptom {
+        mfs.symptom
+    }
+
+    fn mfs_is_empty(mfs: &Mfs) -> bool {
+        mfs.is_empty()
+    }
+
+    fn mfs_matches(mfs: &Mfs, point: &SearchPoint) -> bool {
+        mfs.matches(point)
+    }
+
+    /// One extra experiment captures the anomaly's observable identity
+    /// (symptom + dominant diagnostic counter) that every probe is compared
+    /// against.
+    fn begin_extraction(
+        &mut self,
+        anomalous: &SearchPoint,
+        identity: &Symptom,
+        cost: &mut ExtractionCost,
+    ) -> ReproductionSignature {
+        cost.charge(self.experiment_cost(anomalous));
+        let reference = self.evaluator.measure(anomalous);
+        ReproductionSignature {
+            symptom: *identity,
+            dominant_counter: dominant_diag_counter(&reference),
         }
-        let mut ranked: Vec<(String, f64)> = names
-            .into_iter()
-            .zip(stats.iter().map(|s| s.coefficient_of_variation()))
-            .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        ranked.into_iter().map(|(n, _)| n).collect()
     }
 
-    /// Number of discoveries so far (strategies use this to notice that the
-    /// last measurement uncovered something new and restart their walk).
-    pub(crate) fn discovery_count(&self) -> usize {
-        self.discoveries.len()
+    /// "Reproduces" means the probe shows the *same observable identity*:
+    /// the same end-to-end symptom and the same dominant diagnostic
+    /// counter. Requiring only "some anomaly" would make almost every
+    /// feature look irrelevant on hosts where several bottlenecks can be
+    /// tripped at once (a probe that swaps UD for RC and then pauses
+    /// because of the PCIe-ordering bottleneck is evidence of a *different*
+    /// anomaly, not evidence that the transport does not matter). Both
+    /// parts of the signature are observable without any hardware
+    /// knowledge, exactly like the counters the search itself uses.
+    fn reproduces(&mut self, probe: &SearchPoint, signature: &ReproductionSignature) -> bool {
+        let (measurement, verdict) = self.evaluator.measure_and_assess(self.monitor, probe);
+        if verdict.symptom != Some(signature.symptom) {
+            return false;
+        }
+        match &signature.dominant_counter {
+            Some(reference) => dominant_diag_counter(&measurement).as_deref() == Some(reference),
+            None => true,
+        }
     }
 
-    /// Cache statistics of the campaign's evaluator.
-    pub(crate) fn eval_stats(&self) -> EvalStats {
-        self.evaluator.stats()
+    fn make_mfs(
+        &self,
+        identity: &Symptom,
+        conditions: BTreeMap<Feature, FeatureCondition>,
+        example: SearchPoint,
+    ) -> Mfs {
+        Mfs {
+            symptom: *identity,
+            conditions,
+            example,
+        }
     }
 
-    /// Test hook: plant an already-extracted MFS as if a previous discovery
-    /// had produced it.
-    #[cfg(test)]
-    pub(crate) fn plant_mfs(&mut self, mfs: Mfs) {
-        self.mfs_set.push(mfs);
-    }
-
-    /// Finish the campaign and hand back the outcome.
-    pub(crate) fn finish(self) -> SearchOutcome {
-        SearchOutcome {
-            label: self.config.label(),
-            discoveries: self.discoveries,
-            rule_hits: self.rule_hits,
-            trace: self.trace,
-            experiments: self.experiments,
-            skipped_by_mfs: self.skipped,
-            elapsed: self.elapsed,
+    fn make_discovery(
+        &self,
+        at: SimDuration,
+        point: SearchPoint,
+        identity: Symptom,
+        mfs: Mfs,
+        matched_rules: Vec<String>,
+    ) -> Discovery {
+        Discovery {
+            at,
+            point,
+            symptom: identity,
+            mfs,
+            matched_rules,
         }
     }
 }
@@ -398,6 +368,9 @@ impl<'a> Campaign<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::WorkloadEngine;
+    use crate::search::kernel::CampaignLoop;
+    use crate::search::SearchConfig;
     use collie_rnic::subsystems::SubsystemId;
     use collie_rnic::workload::{Opcode, Transport};
 
@@ -410,10 +383,22 @@ mod tests {
         )
     }
 
+    /// Build a campaign loop over a freshly bound two-host domain.
+    macro_rules! campaign {
+        ($engine:expr, $evaluator:ident, $space:expr, $monitor:expr, $config:expr) => {{
+            $evaluator = Evaluator::new($engine);
+            CampaignLoop::new(
+                WorkloadDomain::new(&mut $evaluator, $monitor, $space, $config.signal),
+                $config,
+            )
+        }};
+    }
+
     #[test]
     fn measuring_an_anomalous_point_records_a_discovery_with_mfs() {
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         let mut point = SearchPoint::benign();
         point.transport = Transport::Ud;
         point.opcode = Opcode::Send;
@@ -422,7 +407,7 @@ mod tests {
         point.mtu = 2048;
         point.messages = vec![2048];
         campaign.measure(&point).unwrap();
-        let outcome = campaign.finish();
+        let outcome = SearchOutcome::from_report(config.label(), campaign.finish());
         assert_eq!(outcome.discoveries.len(), 1);
         let d = &outcome.discoveries[0];
         assert!(d.matched_rules.contains(&"collie/1".to_string()));
@@ -437,7 +422,8 @@ mod tests {
     #[test]
     fn repeated_sightings_of_the_same_anomaly_count_once() {
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         let mut point = SearchPoint::benign();
         point.transport = Transport::Ud;
         point.opcode = Opcode::Send;
@@ -448,7 +434,7 @@ mod tests {
         point.wqe_batch = 128;
         assert!(campaign.matches_known_mfs(&point), "should be skippable");
         campaign.measure(&point).unwrap();
-        let outcome = campaign.finish();
+        let outcome = SearchOutcome::from_report(config.label(), campaign.finish());
         assert_eq!(outcome.discoveries.len(), 1);
         assert_eq!(outcome.skipped_by_mfs, 1);
         assert_eq!(outcome.distinct_known_anomalies().len(), 1);
@@ -458,7 +444,8 @@ mod tests {
     fn budget_is_enforced() {
         let (mut engine, space, monitor, _) = setup();
         let config = SearchConfig::collie(3).with_budget(SimDuration::from_secs(45));
-        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         let p = SearchPoint::benign();
         assert!(campaign.measure(&p).is_some());
         // Budget (45 s) is consumed by the first experiment (>= 20 s) plus
@@ -470,13 +457,15 @@ mod tests {
     #[test]
     fn energy_delta_directions() {
         let (mut engine, space, monitor, config) = setup();
-        let campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         // Diagnostic mode: higher counter value = negative delta (better).
         assert!(campaign.energy_delta(10.0, 20.0) < 0.0);
         assert!(campaign.energy_delta(20.0, 10.0) > 0.0);
         let perf_config = SearchConfig::collie(3).with_signal(SignalMode::Performance);
         let mut engine2 = WorkloadEngine::for_catalog(SubsystemId::F);
-        let campaign2 = Campaign::new(&mut engine2, &space, &monitor, &perf_config);
+        let mut evaluator2;
+        let campaign2 = campaign!(&mut engine2, evaluator2, &space, &monitor, &perf_config);
         // Performance mode: lower counter value = negative delta (better).
         assert!(campaign2.energy_delta(20.0, 10.0) < 0.0);
         assert!(campaign2.energy_delta(10.0, 20.0) > 0.0);
@@ -485,10 +474,13 @@ mod tests {
     #[test]
     fn counter_ranking_returns_all_nine_diagnostic_counters() {
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
-        let ranked = campaign.rank_counters(10);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
+        let ranked = campaign.ranked_targets(10);
         assert_eq!(ranked.len(), 9);
-        assert!(ranked.iter().all(|n| n.starts_with("diag/")));
+        assert!(ranked
+            .iter()
+            .all(|n| n.as_deref().is_some_and(|n| n.starts_with("diag/"))));
     }
 
     #[test]
@@ -514,7 +506,8 @@ mod tests {
         // degenerate extraction marked every later anomaly a "redundant
         // sighting" and silenced the rest of the campaign.
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         campaign.plant_mfs(Mfs {
             symptom: Symptom::PauseStorm,
             conditions: std::collections::BTreeMap::new(),
@@ -531,7 +524,7 @@ mod tests {
         // dedup may consult it.
         assert!(!campaign.matches_known_mfs(&point));
         campaign.measure(&point).unwrap();
-        let outcome = campaign.finish();
+        let outcome = SearchOutcome::from_report(config.label(), campaign.finish());
         assert_eq!(
             outcome.discoveries.len(),
             1,
@@ -543,9 +536,10 @@ mod tests {
     #[test]
     fn diagnostic_mode_traces_the_figure6_counter() {
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         campaign.measure(&SearchPoint::benign()).unwrap();
-        let outcome = campaign.finish();
+        let outcome = SearchOutcome::from_report(config.label(), campaign.finish());
         assert_eq!(
             outcome.trace.name(),
             collie_rnic::counters::diag::RECV_WQE_CACHE_MISS
@@ -559,9 +553,10 @@ mod tests {
         // vendor diagnostic counter (see `SignalMode::traced_counter`).
         let (mut engine, space, monitor, _) = setup();
         let config = SearchConfig::collie(3).with_signal(SignalMode::Performance);
-        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         campaign.measure(&SearchPoint::benign()).unwrap();
-        let outcome = campaign.finish();
+        let outcome = SearchOutcome::from_report(config.label(), campaign.finish());
         assert_eq!(
             outcome.trace.name(),
             collie_rnic::counters::perf::RX_BYTES_PER_SEC
@@ -575,14 +570,15 @@ mod tests {
     #[test]
     fn repeated_measurements_are_served_from_the_memo_cache() {
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         let point = SearchPoint::benign();
         campaign.measure(&point).unwrap();
         campaign.measure(&point).unwrap();
         let stats = campaign.eval_stats();
         assert!(stats.hits >= 1, "{stats:?}");
         // The repeat still charged its simulated cost and experiment count.
-        let outcome = campaign.finish();
+        let outcome = SearchOutcome::from_report(config.label(), campaign.finish());
         assert_eq!(outcome.experiments, 2);
         assert!(outcome.elapsed >= SimDuration::from_secs(40));
     }
@@ -590,11 +586,12 @@ mod tests {
     #[test]
     fn rule_hits_are_recorded_for_every_measured_anomalous_point() {
         let (mut engine, space, monitor, config) = setup();
-        let mut campaign = Campaign::new(&mut engine, &space, &monitor, &config);
+        let mut evaluator;
+        let mut campaign = campaign!(&mut engine, evaluator, &space, &monitor, &config);
         // Two different catalogued triggers, measured back to back.
         campaign.measure(&crate::catalog::KnownAnomaly::by_id(1).unwrap().trigger);
         campaign.measure(&crate::catalog::KnownAnomaly::by_id(3).unwrap().trigger);
-        let outcome = campaign.finish();
+        let outcome = SearchOutcome::from_report(config.label(), campaign.finish());
         let rules = outcome.distinct_known_anomalies();
         assert!(rules.contains("collie/1"), "{rules:?}");
         assert!(rules.contains("collie/3"), "{rules:?}");

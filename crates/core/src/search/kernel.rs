@@ -1,0 +1,847 @@
+//! The generic campaign kernel: one search loop and one MFS extractor for
+//! every [`SearchDomain`].
+//!
+//! [`CampaignLoop`] owns everything the strategies share — budget
+//! accounting, the Algorithm-1 line-5 MFS skip (with the empty-MFS guard),
+//! per-identity discovery dedup, the Figure-6 trace, rule-hit scoring, and
+//! the campaign RNG. [`run_random`] and [`run_annealing`] are the strategy
+//! drivers (the Bayesian baseline lives in `search::bayesian` because its
+//! surrogate encodes two-host points); [`MfsExtractor`] is the §5.2
+//! feature-necessity prober. All of them are generic over the domain, so
+//! the two-host and fabric stacks execute literally the same code.
+//!
+//! Behaviour notes pinned by tests:
+//!
+//! * **RNG-stream stability** — draws happen in exactly the order the
+//!   pre-unification per-stack loops made them; `tests/golden_traces.rs`
+//!   diffs the full fig4/fig5/fig7 grids against committed fixtures.
+//! * **Stuck-walk escape** — a walk parked next to a discovered MFS region
+//!   can propose free skips indefinitely; after
+//!   [`SearchConfig::stuck_skip_limit`] consecutive skips the schedule
+//!   restarts from a fresh point. This escape used to exist only in the
+//!   fabric copy of the annealer; the kernel gives it to every domain (see
+//!   `a_saturating_mfs_cannot_stall_the_annealer`).
+//! * **Per-identity dedup** — an anomaly surfacing inside a known MFS
+//!   region is redundant only if that MFS has the *same observable
+//!   identity* ([`SearchConfig::identity_dedup`]); a loose MFS of a
+//!   different identity must not shadow it (see
+//!   `a_loose_mfs_does_not_shadow_a_distinct_identity_discovery`).
+//! * **Compatibility grids** — both behaviours are config knobs whose
+//!   legacy settings ([`SearchConfig::with_legacy_two_host_semantics`])
+//!   reproduce the pre-kernel two-host streams bit-for-bit, which is how
+//!   the golden suite separates the refactor (stream-preserving) from the
+//!   two deliberate fixes (pinned by their own fixtures).
+
+use crate::search::domain::{CampaignReport, ExtractionCost, SearchDomain};
+use crate::search::{RuleHit, SearchConfig};
+use crate::space::FeatureValue;
+use collie_sim::rng::SimRng;
+use collie_sim::series::TimeSeries;
+use collie_sim::stats::OnlineStats;
+use collie_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many redundant (MFS-covered) samples the random baseline may reject
+/// in a row before testing the next sample anyway. Rejecting a sample costs
+/// no hardware time, but once the discovered MFSes cover most of the space
+/// the baseline must not spin forever generating free rejects.
+const MAX_CONSECUTIVE_SKIPS: u32 = 256;
+
+/// Bounded re-draws applied to the post-discovery (line 17) restart.
+const MAX_RESTART_REDRAWS: usize = 8;
+
+/// Mutable campaign state shared by every strategy, generic over the
+/// search domain.
+pub struct CampaignLoop<'c, D: SearchDomain> {
+    domain: D,
+    config: &'c SearchConfig,
+    rng: SimRng,
+    elapsed: SimDuration,
+    experiments: u32,
+    skipped: u32,
+    discoveries: Vec<D::Discovery>,
+    rule_hits: Vec<RuleHit>,
+    hit_rules: BTreeSet<String>,
+    mfs_set: Vec<D::Mfs>,
+    trace: TimeSeries,
+}
+
+impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
+    /// A fresh campaign over `domain`, seeded from `config`.
+    pub fn new(domain: D, config: &'c SearchConfig) -> Self {
+        let trace = TimeSeries::new(domain.traced_counter());
+        CampaignLoop {
+            domain,
+            config,
+            rng: SimRng::new(config.seed),
+            elapsed: SimDuration::ZERO,
+            experiments: 0,
+            skipped: 0,
+            discoveries: Vec::new(),
+            rule_hits: Vec::new(),
+            hit_rules: BTreeSet::new(),
+            mfs_set: Vec::new(),
+            trace,
+        }
+    }
+
+    /// The campaign's configuration.
+    pub fn config(&self) -> &SearchConfig {
+        self.config
+    }
+
+    /// True once the simulated budget is spent.
+    pub fn out_of_budget(&self) -> bool {
+        self.elapsed >= self.config.budget
+    }
+
+    /// Draw a uniform random point from the domain's space.
+    pub fn random_point(&mut self) -> D::Point {
+        self.domain.random_point(&mut self.rng)
+    }
+
+    /// Mutate one coordinate of `point` (Algorithm 1 line 4).
+    pub fn mutate(&mut self, point: &D::Point) -> D::Point {
+        self.domain.mutate(point, &mut self.rng)
+    }
+
+    /// One draw from the campaign RNG in `[0, 1)` (Metropolis acceptance).
+    pub fn gen_f64(&mut self) -> f64 {
+        self.rng.gen_f64()
+    }
+
+    /// True if the point falls inside an already-discovered anomaly's MFS
+    /// (Algorithm 1, line 5) and the MFS skip is enabled.
+    ///
+    /// An MFS that ended up with *no* necessary conditions (possible for a
+    /// compound-overload workload where every single-feature change still
+    /// reproduces the symptom) would match the entire space and starve the
+    /// search, so empty MFSes never participate in the skip.
+    pub fn matches_known_mfs(&mut self, point: &D::Point) -> bool {
+        if !self.config.use_mfs {
+            return false;
+        }
+        let matched = self
+            .mfs_set
+            .iter()
+            .any(|m| !D::mfs_is_empty(m) && D::mfs_matches(m, point));
+        if matched {
+            self.skipped += 1;
+        }
+        matched
+    }
+
+    /// Run one experiment: charge its hardware cost, record the trace, and
+    /// — if the point is anomalous — extract its MFS and log the discovery.
+    /// Returns the measurement (for the caller to read its guiding counter)
+    /// or `None` if the budget ran out before the experiment could run.
+    ///
+    /// Measurement follows the monitor's §6 procedure (four samples per
+    /// iteration); the domain evaluator's memo cache answers the repeat
+    /// samples, so the fidelity costs one flow-model evaluation, not four.
+    pub fn measure(&mut self, point: &D::Point) -> Option<D::Measurement> {
+        if self.out_of_budget() {
+            return None;
+        }
+        self.elapsed += self.domain.experiment_cost(point);
+        self.experiments += 1;
+        let (measurement, anomaly) = self.domain.assess(point);
+
+        let trace_value = self.domain.trace_value(&measurement);
+        let now = SimTime::ZERO + self.elapsed;
+        if let Some(identity) = anomaly {
+            self.trace.record_anomaly(now, trace_value);
+            if self.domain.reports_rule_hits() {
+                self.record_rule_hits(point);
+            }
+            self.handle_anomaly(point, identity);
+        } else {
+            self.trace.record(now, trace_value);
+        }
+        Some(measurement)
+    }
+
+    /// Scoring bookkeeping: note the first time each catalogued anomaly was
+    /// triggered by a measured experiment. Never consulted by the search.
+    fn record_rule_hits(&mut self, point: &D::Point) {
+        let at = self.elapsed;
+        for rule in self.domain.ground_truth(point) {
+            if self.hit_rules.insert(rule.to_string()) {
+                self.rule_hits.push(RuleHit {
+                    at,
+                    rule: rule.to_string(),
+                });
+            }
+        }
+    }
+
+    fn handle_anomaly(&mut self, point: &D::Point, identity: D::Identity) {
+        // Already covered by a known MFS of the *same observable identity*?
+        // Then this is a redundant sighting of an anomaly we have, not a
+        // new discovery. An anomaly of a different identity surfacing
+        // inside a loose MFS region is operationally a different finding
+        // and must not be shadowed by it (`identity_dedup: false` restores
+        // the pre-kernel containment-only check for the golden-trace
+        // compatibility grids). An *empty* MFS matches vacuously and must
+        // not take part in this dedup — one degenerate extraction would
+        // otherwise mark every later anomaly redundant and silence the
+        // rest of the campaign (same guard as
+        // [`CampaignLoop::matches_known_mfs`]).
+        let identity_dedup = self.config.identity_dedup;
+        if self.mfs_set.iter().any(|m| {
+            !D::mfs_is_empty(m)
+                && (!identity_dedup || D::mfs_identity(m) == identity)
+                && D::mfs_matches(m, point)
+        }) {
+            return;
+        }
+        let found_at = self.elapsed;
+        let outcome = MfsExtractor::new(&mut self.domain).extract(point, &identity);
+        // MFS extraction takes real experiments on real hardware; charge
+        // them (this is the flat segment after each red cross in Figure 6).
+        self.elapsed += outcome.elapsed;
+        self.experiments += outcome.experiments;
+        let trace_value = self.trace.samples().last().map(|s| s.value).unwrap_or(0.0);
+        self.trace.record(SimTime::ZERO + self.elapsed, trace_value);
+
+        let matched_rules = self
+            .domain
+            .ground_truth(point)
+            .into_iter()
+            .map(|r| r.to_string())
+            .collect();
+        self.mfs_set.push(outcome.mfs.clone());
+        let discovery = self.domain.make_discovery(
+            found_at,
+            point.clone(),
+            identity,
+            outcome.mfs,
+            matched_rules,
+        );
+        self.discoveries.push(discovery);
+    }
+
+    /// The guiding-counter value of a measurement (see
+    /// [`SearchDomain::signal_value`]).
+    pub fn signal_value(&self, measurement: &D::Measurement, target: Option<&str>) -> f64 {
+        self.domain.signal_value(measurement, target)
+    }
+
+    /// The energy delta of Algorithm 1: negative means the new point is
+    /// better (higher diagnostic counter / lower performance counter).
+    pub fn energy_delta(&self, old: f64, new: f64) -> f64 {
+        let eps = 1e-9;
+        match self.config.signal {
+            crate::search::SignalMode::Performance => (new - old) / old.abs().max(eps),
+            crate::search::SignalMode::Diagnostic => (old - new) / new.abs().max(eps),
+        }
+    }
+
+    /// The optimisation targets of the annealing/BO outer loops: the
+    /// domain's rankable counters ordered by coefficient of variation over
+    /// `probes` random experiments (the §7.2 procedure), or a single
+    /// un-targeted schedule for domains with one fixed guiding signal (no
+    /// probes are spent in that case).
+    pub fn ranked_targets(&mut self, probes: usize) -> Vec<Option<String>> {
+        let names = self.domain.rankable_counters();
+        if names.is_empty() {
+            return vec![None];
+        }
+        let mut stats: Vec<OnlineStats> = vec![OnlineStats::new(); names.len()];
+        for _ in 0..probes {
+            if self.out_of_budget() {
+                break;
+            }
+            let point = self.random_point();
+            if let Some(measurement) = self.measure(&point) {
+                for (i, name) in names.iter().enumerate() {
+                    stats[i].push(self.domain.signal_value(&measurement, Some(name)));
+                }
+            }
+        }
+        let mut ranked: Vec<(String, f64)> = names
+            .into_iter()
+            .zip(stats.iter().map(|s| s.coefficient_of_variation()))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.into_iter().map(|(n, _)| Some(n)).collect()
+    }
+
+    /// Number of discoveries so far (strategies use this to notice that the
+    /// last measurement uncovered something new and restart their walk).
+    pub fn discovery_count(&self) -> usize {
+        self.discoveries.len()
+    }
+
+    /// Cache statistics of the domain's evaluator.
+    pub fn eval_stats(&self) -> crate::eval::EvalStats {
+        self.domain.eval_stats()
+    }
+
+    /// Test hook: plant an already-extracted MFS as if a previous discovery
+    /// had produced it.
+    #[cfg(test)]
+    pub(crate) fn plant_mfs(&mut self, mfs: D::Mfs) {
+        self.mfs_set.push(mfs);
+    }
+
+    /// Finish the campaign and hand back the report for the domain's
+    /// outcome wrapper.
+    pub fn finish(self) -> CampaignReport<D> {
+        CampaignReport {
+            discoveries: self.discoveries,
+            rule_hits: self.rule_hits,
+            trace: self.trace,
+            experiments: self.experiments,
+            skipped_by_mfs: self.skipped,
+            elapsed: self.elapsed,
+        }
+    }
+}
+
+/// Run the random baseline (black-box fuzzing, §7.2) until the budget is
+/// exhausted.
+pub fn run_random<D: SearchDomain>(campaign: &mut CampaignLoop<'_, D>) {
+    let mut consecutive_skips = 0u32;
+    while !campaign.out_of_budget() {
+        let point = campaign.random_point();
+        if consecutive_skips < MAX_CONSECUTIVE_SKIPS && campaign.matches_known_mfs(&point) {
+            consecutive_skips += 1;
+            continue;
+        }
+        consecutive_skips = 0;
+        if campaign.measure(&point).is_none() {
+            break;
+        }
+    }
+}
+
+/// Run the annealing campaign (Algorithm 1) until the budget is exhausted.
+///
+/// The outer loop follows §7.2: the domain's guiding counters are ranked by
+/// their variability over ten random probes, then optimised one after
+/// another, cycling until the time budget is spent. Domains with a single
+/// fixed guiding signal (no rankable counters) run un-targeted schedules
+/// back to back.
+pub fn run_annealing<D: SearchDomain>(campaign: &mut CampaignLoop<'_, D>) {
+    // `ranked_targets` is never empty: a domain without rankable counters
+    // yields the single un-targeted schedule `[None]`.
+    let targets = campaign.ranked_targets(10);
+    let mut target_index = 0usize;
+    while !campaign.out_of_budget() {
+        let target = targets[target_index % targets.len()].clone();
+        anneal_schedule(campaign, target.as_deref());
+        target_index += 1;
+    }
+}
+
+/// Draw the fresh random point a discovery (or a stuck walk) restarts the
+/// walk from.
+///
+/// Algorithm 1 line 5 applies to the restart too: a random draw can land
+/// inside the MFS that was just extracted (its region is by construction a
+/// productive part of the space), and measuring it would both waste an
+/// experiment and re-flag a known anomaly. Re-draw — bounded, so a set of
+/// MFSes that happens to cover most of the space cannot livelock the
+/// schedule — until the point is uncovered.
+pub(crate) fn draw_restart_point<D: SearchDomain>(campaign: &mut CampaignLoop<'_, D>) -> D::Point {
+    let mut point = campaign.random_point();
+    for _ in 0..MAX_RESTART_REDRAWS {
+        if !campaign.matches_known_mfs(&point) {
+            return point;
+        }
+        point = campaign.random_point();
+    }
+    point
+}
+
+/// One annealing schedule driving the guiding signal (optionally one
+/// specific `target` counter) to its extreme region.
+fn anneal_schedule<D: SearchDomain>(campaign: &mut CampaignLoop<'_, D>, target: Option<&str>) {
+    let config = campaign.config().clone();
+    // Algorithm 1 line 1: measure a random starting point.
+    let mut current = campaign.random_point();
+    let Some(measurement) = campaign.measure(&current) else {
+        return;
+    };
+    let mut current_value = campaign.signal_value(&measurement, target);
+
+    let mut temperature = config.initial_temperature;
+    let mut stuck_skips = 0u32;
+    while temperature > config.min_temperature {
+        for _ in 0..config.iterations_per_temperature {
+            if campaign.out_of_budget() {
+                return;
+            }
+            // Line 4: mutate one search dimension.
+            let candidate = campaign.mutate(&current);
+            // Line 5: skip workloads already covered by a known anomaly —
+            // but escape the neighbourhood if the walk is only producing
+            // covered proposals (`stuck_skip_limit`).
+            if campaign.matches_known_mfs(&candidate) {
+                stuck_skips += 1;
+                if let Some(limit) = config.stuck_skip_limit {
+                    if stuck_skips >= limit {
+                        stuck_skips = 0;
+                        current = draw_restart_point(campaign);
+                        if let Some(m) = campaign.measure(&current) {
+                            current_value = campaign.signal_value(&m, target);
+                        }
+                    }
+                }
+                continue;
+            }
+            stuck_skips = 0;
+            let discoveries_before = campaign.discovery_count();
+            let Some(measurement) = campaign.measure(&candidate) else {
+                return;
+            };
+            let candidate_value = campaign.signal_value(&measurement, target);
+
+            // Lines 14–17: a new anomaly restarts the walk from a random
+            // point so the schedule keeps exploring.
+            if campaign.discovery_count() > discoveries_before {
+                current = draw_restart_point(campaign);
+                if let Some(m) = campaign.measure(&current) {
+                    current_value = campaign.signal_value(&m, target);
+                }
+                continue;
+            }
+
+            // Lines 7–13: Metropolis acceptance on the energy delta.
+            let delta = campaign.energy_delta(current_value, candidate_value);
+            let accept = if delta < 0.0 {
+                true
+            } else {
+                let probability = (-delta / temperature.max(1e-6)).exp();
+                campaign.gen_f64() < probability
+            };
+            if accept {
+                current = candidate;
+                current_value = candidate_value;
+            }
+        }
+        temperature *= config.alpha;
+    }
+}
+
+/// The result of one generic extraction: the domain's MFS plus the cost it
+/// incurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionParts<M> {
+    /// The extracted minimal feature set.
+    pub mfs: M,
+    /// Experiments spent probing.
+    pub experiments: u32,
+    /// Simulated wall-clock spent probing (each probe costs what a normal
+    /// experiment costs — visible as the flat segments of Figure 6).
+    pub elapsed: SimDuration,
+}
+
+/// Extracts minimal feature sets by probing the domain (§5.2).
+///
+/// When the search finds an anomalous point, Collie asks: *which of its
+/// features are actually necessary to reproduce the anomaly?* With only a
+/// handful of dimensions and a few factors each, every feature is probed
+/// directly. For a categorical feature, the alternative values are tried —
+/// if none still triggers the anomaly, the feature is necessary and must
+/// keep its value. For a numeric feature, the ends of its ladder are probed
+/// to learn the direction of the condition (at-least or at-most) and a few
+/// bisection steps find the coarse threshold, exactly as the paper
+/// discretises continuous dimensions into value regions.
+///
+/// Probes run through the domain's shared memoized evaluator, which matters
+/// for cost: the extractor is the heaviest revisiter in a campaign — it
+/// re-measures the anomalous point it was handed and its single-feature
+/// neighbourhoods overlap across extractions — so routing it through the
+/// campaign's memo cache removes most of the recompute while the simulated
+/// probe cost keeps being charged.
+pub struct MfsExtractor<'d, D: SearchDomain> {
+    domain: &'d mut D,
+    /// Maximum alternatives probed per categorical feature.
+    pub max_alternatives: usize,
+    /// Maximum bisection steps per numeric feature.
+    pub max_bisection_steps: usize,
+}
+
+impl<'d, D: SearchDomain> MfsExtractor<'d, D> {
+    /// A new extractor bound to a domain.
+    pub fn new(domain: &'d mut D) -> Self {
+        MfsExtractor {
+            domain,
+            // §5.2: "we just do a few tests on each dimension". Two
+            // alternatives per categorical feature and one refinement step
+            // per numeric feature keep one extraction in the tens of
+            // experiments — the flat segments visible in Figure 6 — rather
+            // than consuming a large slice of the campaign budget.
+            max_alternatives: 2,
+            max_bisection_steps: 1,
+        }
+    }
+
+    /// Override the probe limits (the public per-stack wrappers expose
+    /// them as fields).
+    pub fn with_limits(mut self, max_alternatives: usize, max_bisection_steps: usize) -> Self {
+        self.max_alternatives = max_alternatives;
+        self.max_bisection_steps = max_bisection_steps;
+        self
+    }
+
+    /// Run one probe experiment and report whether it still reproduces the
+    /// anomaly under extraction.
+    ///
+    /// Probes are ordinary monitored iterations, so they follow the §6
+    /// four-sample procedure; the shared evaluator's cache makes the
+    /// repeats free, while the simulated cost is charged in full.
+    fn probe(
+        &mut self,
+        point: &D::Point,
+        signature: &D::Signature,
+        cost: &mut ExtractionCost,
+    ) -> bool {
+        cost.charge(self.domain.experiment_cost(point));
+        self.domain.reproduces(point, signature)
+    }
+
+    /// Extract the MFS of an anomalous point.
+    pub fn extract(
+        &mut self,
+        anomalous: &D::Point,
+        identity: &D::Identity,
+    ) -> ExtractionParts<D::Mfs> {
+        let mut cost = ExtractionCost::default();
+        let signature = self.domain.begin_extraction(anomalous, identity, &mut cost);
+        let mut conditions = BTreeMap::new();
+
+        for feature in self.domain.features() {
+            match self.domain.feature_value(anomalous, feature) {
+                FeatureValue::Number(current) => {
+                    if let Some(condition) =
+                        self.probe_numeric(anomalous, feature, current, &signature, &mut cost)
+                    {
+                        conditions.insert(feature, condition);
+                    }
+                }
+                current => {
+                    if let Some(condition) =
+                        self.probe_categorical(anomalous, feature, current, &signature, &mut cost)
+                    {
+                        conditions.insert(feature, condition);
+                    }
+                }
+            }
+        }
+
+        ExtractionParts {
+            mfs: self
+                .domain
+                .make_mfs(identity, conditions, anomalous.clone()),
+            experiments: cost.experiments,
+            elapsed: cost.elapsed,
+        }
+    }
+
+    fn probe_categorical(
+        &mut self,
+        anomalous: &D::Point,
+        feature: D::Feature,
+        current: FeatureValue,
+        signature: &D::Signature,
+        cost: &mut ExtractionCost,
+    ) -> Option<crate::monitor::FeatureCondition> {
+        let alternatives = self.domain.alternatives(anomalous, feature);
+        if alternatives.is_empty() {
+            return None;
+        }
+        for alt in alternatives.iter().take(self.max_alternatives) {
+            let mut probe = anomalous.clone();
+            self.domain.apply(&mut probe, feature, alt);
+            if self.probe(&probe, signature, cost) {
+                // Some alternative still triggers: the feature's value is
+                // not necessary.
+                return None;
+            }
+        }
+        Some(crate::monitor::FeatureCondition::Equals(current))
+    }
+
+    fn probe_numeric(
+        &mut self,
+        anomalous: &D::Point,
+        feature: D::Feature,
+        current: u64,
+        signature: &D::Signature,
+        cost: &mut ExtractionCost,
+    ) -> Option<crate::monitor::FeatureCondition> {
+        use crate::monitor::FeatureCondition;
+        let ladder: Vec<u64> = self
+            .domain
+            .alternatives(anomalous, feature)
+            .into_iter()
+            .filter_map(|v| match v {
+                FeatureValue::Number(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        if ladder.is_empty() {
+            return None;
+        }
+        let lowest = *ladder.iter().min().unwrap();
+        let highest = *ladder.iter().max().unwrap();
+
+        let triggers_at = |this: &mut Self, value: u64, cost: &mut ExtractionCost| {
+            if value == current {
+                return true;
+            }
+            let mut probe = anomalous.clone();
+            this.domain
+                .apply(&mut probe, feature, &FeatureValue::Number(value));
+            this.probe(&probe, signature, cost)
+        };
+
+        let low_triggers = triggers_at(self, lowest.min(current), cost);
+        let high_triggers = triggers_at(self, highest.max(current), cost);
+
+        match (low_triggers, high_triggers) {
+            // The feature's value does not matter.
+            (true, true) => None,
+            // Condition is "at least": find the coarse threshold between
+            // the lowest non-triggering rung and the current value.
+            (false, true) => Some(FeatureCondition::AtLeast(self.bisect(
+                anomalous, feature, &ladder, current, signature, cost, /*at_least=*/ true,
+            ))),
+            // Condition is "at most".
+            (true, false) => Some(FeatureCondition::AtMost(self.bisect(
+                anomalous, feature, &ladder, current, signature, cost, /*at_least=*/ false,
+            ))),
+            // Only the observed region triggers.
+            (false, false) => Some(FeatureCondition::Equals(FeatureValue::Number(current))),
+        }
+    }
+
+    /// Coarse threshold search over the rungs between the failing end of
+    /// the ladder and the current (triggering) value.
+    #[allow(clippy::too_many_arguments)]
+    fn bisect(
+        &mut self,
+        anomalous: &D::Point,
+        feature: D::Feature,
+        ladder: &[u64],
+        current: u64,
+        signature: &D::Signature,
+        cost: &mut ExtractionCost,
+        at_least: bool,
+    ) -> u64 {
+        // Candidate rungs strictly between the far end and the current
+        // value.
+        let mut candidates: Vec<u64> = ladder
+            .iter()
+            .copied()
+            .filter(|&v| if at_least { v < current } else { v > current })
+            .collect();
+        candidates.sort_unstable();
+        if at_least {
+            candidates.reverse();
+        }
+        let mut threshold = current;
+        for value in candidates.into_iter().take(self.max_bisection_steps) {
+            let mut probe = anomalous.clone();
+            self.domain
+                .apply(&mut probe, feature, &FeatureValue::Number(value));
+            if self.probe(&probe, signature, cost) {
+                threshold = value;
+            } else {
+                break;
+            }
+        }
+        threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorkloadEngine;
+    use crate::eval::Evaluator;
+    use crate::monitor::{AnomalyMonitor, FeatureCondition, Mfs, Symptom};
+    use crate::search::{run_search, SearchConfig, WorkloadDomain};
+    use crate::space::{Feature, SearchPoint, SearchSpace};
+    use collie_rnic::subsystems::SubsystemId;
+    use collie_rnic::workload::{Opcode, Transport};
+    use std::collections::BTreeMap;
+
+    fn setup() -> (WorkloadEngine, SearchSpace, AnomalyMonitor) {
+        (
+            WorkloadEngine::for_catalog(SubsystemId::F),
+            SearchSpace::for_host(&SubsystemId::F.host()),
+            AnomalyMonitor::new(),
+        )
+    }
+
+    /// An MFS whose single condition covers the entire space: every point
+    /// has a WQE batch of at least 1, so once planted the whole space is
+    /// "already discovered" while the MFS still counts as non-empty.
+    fn saturating_mfs() -> Mfs {
+        let mut conditions = BTreeMap::new();
+        conditions.insert(Feature::WqeBatch, FeatureCondition::AtLeast(1));
+        Mfs {
+            symptom: Symptom::PauseStorm,
+            conditions,
+            example: SearchPoint::benign(),
+        }
+    }
+
+    #[test]
+    fn restart_points_avoid_known_mfs_regions() {
+        // Algorithm 1 line 5 applies to the line-17 restart: after a
+        // discovery, the fresh random point must not sit inside an
+        // already-extracted MFS (the walk would restart right where it just
+        // finished). Plant an MFS covering a large slice of the space and
+        // check that restart draws consistently land outside it.
+        let (mut engine, space, monitor) = setup();
+        let config = SearchConfig::collie(9);
+        let mut evaluator = Evaluator::new(&mut engine);
+        let domain = WorkloadDomain::new(&mut evaluator, &monitor, &space, config.signal);
+        let mut campaign = CampaignLoop::new(domain, &config);
+        let mut conditions = BTreeMap::new();
+        conditions.insert(Feature::WqeBatch, FeatureCondition::AtLeast(16));
+        let planted = Mfs {
+            symptom: Symptom::PauseStorm,
+            conditions,
+            example: SearchPoint::benign(),
+        };
+        campaign.plant_mfs(planted.clone());
+        for _ in 0..25 {
+            let point = draw_restart_point(&mut campaign);
+            assert!(
+                !planted.matches(&point),
+                "restart landed inside a known MFS: {point}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_saturating_mfs_cannot_stall_the_annealer() {
+        // Regression for the stuck-walk escape, newly shared with the
+        // two-host annealer through the kernel. With the whole space
+        // covered by one (non-empty) MFS, the pre-kernel two-host walk
+        // burnt every schedule proposing free skips — roughly a hundred
+        // consecutive rejects per measured experiment. The escape forces a
+        // restart measurement after `stuck_skip_limit` consecutive skips,
+        // so skips per experiment stay bounded by the limit.
+        let (mut engine, space, monitor) = setup();
+        let config =
+            SearchConfig::collie(7).with_budget(collie_sim::time::SimDuration::from_secs(3600));
+        assert_eq!(config.stuck_skip_limit, Some(24));
+        let mut evaluator = Evaluator::new(&mut engine);
+        let domain = WorkloadDomain::new(&mut evaluator, &monitor, &space, config.signal);
+        let mut campaign = CampaignLoop::new(domain, &config);
+        campaign.plant_mfs(saturating_mfs());
+        run_annealing(&mut campaign);
+        let report = campaign.finish();
+        assert!(report.experiments > 0, "budget must still drain");
+        assert!(
+            report.skipped_by_mfs <= 30 * report.experiments,
+            "the stuck-walk escape must bound free skips per experiment \
+             ({} skips / {} experiments)",
+            report.skipped_by_mfs,
+            report.experiments
+        );
+    }
+
+    #[test]
+    fn without_the_escape_the_saturated_walk_spins() {
+        // The other half of the regression: the legacy configuration
+        // reproduces the pre-kernel stall, which is what made the golden
+        // compatibility grids bit-identical — and what the default config
+        // fixes.
+        let (mut engine, space, monitor) = setup();
+        let config = SearchConfig::collie(7)
+            .with_budget(collie_sim::time::SimDuration::from_secs(3600))
+            .with_legacy_two_host_semantics();
+        let mut evaluator = Evaluator::new(&mut engine);
+        let domain = WorkloadDomain::new(&mut evaluator, &monitor, &space, config.signal);
+        let mut campaign = CampaignLoop::new(domain, &config);
+        campaign.plant_mfs(saturating_mfs());
+        run_annealing(&mut campaign);
+        let report = campaign.finish();
+        assert!(
+            report.skipped_by_mfs > 60 * report.experiments.max(1),
+            "without the escape a saturated space wastes schedules on free \
+             skips ({} skips / {} experiments)",
+            report.skipped_by_mfs,
+            report.experiments
+        );
+    }
+
+    #[test]
+    fn a_loose_mfs_does_not_shadow_a_distinct_identity_discovery() {
+        // The dedup-identity unification (previously fabric-only): a loose
+        // pause-storm MFS covers the whole space, and a low-throughput
+        // anomaly is then measured inside its region. Containment-only
+        // dedup silently swallowed it; identity-keyed dedup records it as
+        // the operationally distinct finding it is.
+        let (mut engine, space, monitor) = setup();
+        // Appendix A anomaly #2: low throughput without pause.
+        let mut low_throughput = SearchPoint::benign();
+        low_throughput.transport = Transport::Ud;
+        low_throughput.opcode = Opcode::Send;
+        low_throughput.num_qps = 16;
+        low_throughput.wqe_batch = 4;
+        low_throughput.recv_queue_depth = 1024;
+        low_throughput.send_queue_depth = 1024;
+        low_throughput.mtu = 1024;
+        low_throughput.messages = vec![1024];
+
+        for (identity_dedup, expected_discoveries) in [(true, 1), (false, 0)] {
+            let config = SearchConfig::collie(3)
+                .with_budget(collie_sim::time::SimDuration::from_secs(7200))
+                .with_identity_dedup(identity_dedup);
+            let mut evaluator = Evaluator::new(&mut engine);
+            let domain = WorkloadDomain::new(&mut evaluator, &monitor, &space, config.signal);
+            let mut campaign = CampaignLoop::new(domain, &config);
+            campaign.plant_mfs(saturating_mfs());
+            campaign.measure(&low_throughput).unwrap();
+            let report = campaign.finish();
+            assert_eq!(
+                report.discoveries.len(),
+                expected_discoveries,
+                "identity_dedup={identity_dedup}"
+            );
+            if identity_dedup {
+                assert_eq!(report.discoveries[0].symptom, Symptom::LowThroughput);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_semantics_builder_sets_both_compat_knobs() {
+        let config = SearchConfig::collie(1).with_legacy_two_host_semantics();
+        assert_eq!(config.stuck_skip_limit, None);
+        assert!(!config.identity_dedup);
+        // Defaults keep the kernel semantics.
+        let default = SearchConfig::collie(1);
+        assert_eq!(default.stuck_skip_limit, Some(24));
+        assert!(default.identity_dedup);
+    }
+
+    #[test]
+    fn the_two_legacy_knobs_only_change_campaigns_that_hit_them() {
+        // A short campaign that never saturates and never sees two
+        // symptoms in one region is bit-identical under both semantics —
+        // the compat knobs gate *extra* behaviour, they do not reorder
+        // any RNG draw.
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let config =
+            SearchConfig::collie(42).with_budget(collie_sim::time::SimDuration::from_secs(900));
+        let mut a_engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let a = run_search(&mut a_engine, &space, &config);
+        let mut b_engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let b = run_search(
+            &mut b_engine,
+            &space,
+            &config.clone().with_legacy_two_host_semantics(),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -14,18 +14,20 @@
 //! the paper) is spent, so "time to find N anomalies" is measured on the
 //! same axis as the paper's figures.
 
-mod annealing;
 mod bayesian;
 mod campaign;
-mod random;
+pub mod domain;
+pub mod kernel;
 
-pub use campaign::{Discovery, RuleHit, SearchOutcome};
+pub use campaign::{Discovery, RuleHit, SearchOutcome, WorkloadDomain};
+pub use domain::{CampaignReport, ExtractionCost, SearchDomain};
 
 use crate::engine::WorkloadEngine;
+use crate::eval::Evaluator;
 use crate::monitor::AnomalyMonitor;
 use crate::space::SearchSpace;
-use campaign::Campaign;
 use collie_sim::time::SimDuration;
+use kernel::CampaignLoop;
 use serde::{Deserialize, Serialize};
 
 /// Which counter family guides the search.
@@ -92,10 +94,16 @@ pub struct SearchConfig {
     /// ablation of Figure 5 turns this off).
     pub use_mfs: bool,
     /// Whether measurements are memoized by the campaign's
-    /// [`Evaluator`](crate::eval::Evaluator). Memoization only skips the
+    /// [`Evaluator`]. Memoization only skips the
     /// flow-model recompute — simulated hardware cost is charged either way
     /// — so the [`SearchOutcome`] is bit-identical with it on or off; the
     /// toggle exists for the cache-ablation bench and identity tests.
+    ///
+    /// Defaults to on; the `COLLIE_MEMOIZE=0` environment variable flips
+    /// the constructor default so CI can run the whole suite uncached and
+    /// cache divergence can never hide behind the default. Tests that
+    /// assert cache *statistics* must pin the toggle with
+    /// [`SearchConfig::with_memoization`].
     pub memoize: bool,
     /// Seed for the campaign's randomness.
     pub seed: u64,
@@ -110,6 +118,20 @@ pub struct SearchConfig {
     pub alpha: f64,
     /// SA iterations per temperature step (n in Algorithm 1).
     pub iterations_per_temperature: u32,
+    /// Consecutive MFS-skipped proposals after which an annealing walk
+    /// abandons its neighbourhood and restarts from a fresh random point
+    /// (the walk's skips are free, but it makes no progress parked next to
+    /// a discovered MFS region). `None` disables the escape — the
+    /// pre-kernel two-host behaviour, used by the golden-trace
+    /// compatibility grids.
+    pub stuck_skip_limit: Option<u32>,
+    /// Whether discovery dedup requires a matching MFS to share the new
+    /// anomaly's *observable identity* (symptom, plus the cross-host
+    /// hallmark on fabric domains). With identity keying a loose MFS
+    /// cannot shadow a distinct-identity discovery; `false` restores the
+    /// pre-kernel two-host containment-only dedup for the golden-trace
+    /// compatibility grids.
+    pub identity_dedup: bool,
 }
 
 impl SearchConfig {
@@ -121,13 +143,15 @@ impl SearchConfig {
             strategy: SearchStrategy::SimulatedAnnealing,
             signal: SignalMode::Diagnostic,
             use_mfs: true,
-            memoize: true,
+            memoize: SearchConfig::default_memoize(),
             seed,
             budget: SimDuration::from_secs(10 * 3600),
             initial_temperature: 1.0,
             min_temperature: 0.05,
             alpha: 0.8,
             iterations_per_temperature: 8,
+            stuck_skip_limit: Some(24),
+            identity_dedup: true,
         }
     }
 
@@ -172,6 +196,35 @@ impl SearchConfig {
         self
     }
 
+    /// Replace the stuck-walk escape threshold (`None` disables; see
+    /// [`SearchConfig::stuck_skip_limit`]).
+    pub fn with_stuck_skip_limit(mut self, limit: Option<u32>) -> SearchConfig {
+        self.stuck_skip_limit = limit;
+        self
+    }
+
+    /// Enable or disable identity-keyed discovery dedup (see
+    /// [`SearchConfig::identity_dedup`]).
+    pub fn with_identity_dedup(mut self, identity_dedup: bool) -> SearchConfig {
+        self.identity_dedup = identity_dedup;
+        self
+    }
+
+    /// The pre-kernel two-host campaign semantics: no stuck-walk escape
+    /// and containment-only discovery dedup. The golden-trace suite runs
+    /// the fig4/fig5 grids in this mode to prove the kernel unification
+    /// moved neither RNG stream; new code should keep the defaults.
+    ///
+    /// **Two-host only.** The fabric stack always had the escape and
+    /// identity-keyed dedup, so a config built this way must not be fed to
+    /// [`run_fabric_search`](crate::fabric::run_fabric_search) — it would
+    /// select a fabric behaviour that never existed (a loose local-storm
+    /// MFS could shadow a victim-collapse discovery, and a saturated
+    /// space could stall the fabric annealer).
+    pub fn with_legacy_two_host_semantics(self) -> SearchConfig {
+        self.with_stuck_skip_limit(None).with_identity_dedup(false)
+    }
+
     /// A descriptive label such as "Collie(Diag)" or "BO w/o MFS(Perf)".
     pub fn label(&self) -> String {
         let signal = match self.signal {
@@ -183,6 +236,33 @@ impl SearchConfig {
             _ if self.use_mfs => format!("{}({signal})", self.strategy.label()),
             _ => format!("{} w/o MFS({signal})", self.strategy.label()),
         }
+    }
+}
+
+impl SearchConfig {
+    /// The constructor default for [`SearchConfig::memoize`]: on, unless
+    /// the `COLLIE_MEMOIZE` environment variable disables it (`0`,
+    /// `false`, or `off`) so CI can run the whole suite through the
+    /// uncached path. Exposed so tests can derive their expectation from
+    /// the one parser instead of re-implementing the rule.
+    pub fn default_memoize() -> bool {
+        parse_memoize(std::env::var("COLLIE_MEMOIZE").ok().as_deref())
+    }
+}
+
+/// `COLLIE_MEMOIZE` parser, separated from the env read so it can be
+/// tested without mutating process-global state under a parallel test
+/// runner. Disable values are matched case-insensitively so an operator's
+/// `COLLIE_MEMOIZE=OFF` cannot silently leave the cache on.
+fn parse_memoize(value: Option<&str>) -> bool {
+    match value {
+        Some(value) => {
+            let value = value.trim();
+            !["0", "false", "off"]
+                .iter()
+                .any(|disable| value.eq_ignore_ascii_case(disable))
+        }
+        None => true,
     }
 }
 
@@ -204,14 +284,23 @@ pub fn run_search_with_stats(
     config: &SearchConfig,
 ) -> (SearchOutcome, crate::eval::EvalStats) {
     let monitor = AnomalyMonitor::new();
-    let mut campaign = Campaign::new(engine, space, &monitor, config);
+    let mut evaluator = if config.memoize {
+        Evaluator::new(engine)
+    } else {
+        Evaluator::uncached(engine)
+    };
+    let domain = WorkloadDomain::new(&mut evaluator, &monitor, space, config.signal);
+    let mut campaign = CampaignLoop::new(domain, config);
     match config.strategy {
-        SearchStrategy::Random => random::run(&mut campaign),
+        SearchStrategy::Random => kernel::run_random(&mut campaign),
         SearchStrategy::Bayesian => bayesian::run(&mut campaign),
-        SearchStrategy::SimulatedAnnealing => annealing::run(&mut campaign),
+        SearchStrategy::SimulatedAnnealing => kernel::run_annealing(&mut campaign),
     }
     let stats = campaign.eval_stats();
-    (campaign.finish(), stats)
+    (
+        SearchOutcome::from_report(config.label(), campaign.finish()),
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -270,6 +359,70 @@ mod tests {
                 "{} found nothing in an hour on subsystem F",
                 strategy.label()
             );
+        }
+    }
+
+    #[test]
+    fn random_search_finds_simple_anomalies_on_subsystem_f() {
+        // The black-box fuzzing baseline: the space itself is expressive
+        // enough that uniform sampling stumbles on the simple triggers.
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let config = SearchConfig {
+            strategy: SearchStrategy::Random,
+            ..SearchConfig::collie(11)
+        }
+        .with_budget(SimDuration::from_secs(2 * 3600));
+        let outcome = run_search(&mut engine, &space, &config);
+        assert!(
+            !outcome.distinct_known_anomalies().is_empty(),
+            "two simulated hours of random probing should stumble on something"
+        );
+        assert!(outcome.experiments > 50);
+    }
+
+    #[test]
+    fn annealing_with_diag_counters_finds_multiple_distinct_anomalies() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let config = SearchConfig::collie(5).with_budget(SimDuration::from_secs(2 * 3600));
+        let outcome = run_search(&mut engine, &space, &config);
+        assert!(
+            outcome.distinct_known_anomalies().len() >= 2,
+            "found only {:?}",
+            outcome.distinct_known_anomalies()
+        );
+        // The Figure-6 trace exists and contains anomaly markers.
+        assert!(!outcome.trace.is_empty());
+        assert!(!outcome.trace.anomaly_samples().is_empty());
+    }
+
+    #[test]
+    fn performance_counter_mode_also_works() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let config = SearchConfig::collie(6)
+            .with_signal(SignalMode::Performance)
+            .with_budget(SimDuration::from_secs(3600));
+        let outcome = run_search(&mut engine, &space, &config);
+        assert!(!outcome.discoveries.is_empty());
+    }
+
+    #[test]
+    fn memoize_default_honours_the_env_toggle_values() {
+        // CI exports COLLIE_MEMOIZE=0 for the uncached matrix leg; this
+        // pins the parser without touching process-global state.
+        for (value, expected) in [
+            (Some("0"), false),
+            (Some("false"), false),
+            (Some("off"), false),
+            (Some("OFF"), false),
+            (Some("False"), false),
+            (Some(" 0 "), false),
+            (Some("1"), true),
+            (None, true),
+        ] {
+            assert_eq!(parse_memoize(value), expected, "COLLIE_MEMOIZE={value:?}");
         }
     }
 

@@ -60,10 +60,16 @@ fn memoized_campaign_is_bit_identical_to_the_uncached_path() {
 
 #[test]
 fn memoization_is_on_by_default_for_paper_configs() {
-    assert!(SearchConfig::collie(1).memoize);
-    assert!(SearchConfig::random(1).memoize);
-    assert!(SearchConfig::bayesian(1).memoize);
+    // The constructor default honours the COLLIE_MEMOIZE override CI uses
+    // to run the whole suite uncached, so derive the expectation from the
+    // one parser instead of hard-coding `true`.
+    let expected = SearchConfig::default_memoize();
+    assert_eq!(SearchConfig::collie(1).memoize, expected);
+    assert_eq!(SearchConfig::random(1).memoize, expected);
+    assert_eq!(SearchConfig::bayesian(1).memoize, expected);
+    // Explicit pins always win over the default.
     assert!(!SearchConfig::collie(1).with_memoization(false).memoize);
+    assert!(SearchConfig::collie(1).with_memoization(true).memoize);
 }
 
 fn fabric_campaign(memoize: bool) -> (FabricOutcome, collie::core::eval::EvalStats) {
