@@ -1,11 +1,12 @@
 //! Regenerates the fabric campaign grid (no direct paper counterpart —
-//! this extends Figures 4/6 to the multi-host fabric): random and
-//! counter-guided fabric campaigns on subsystem F's homogeneous fleet,
-//! hunting cross-host PFC pause storms where a victim flow collapses while
-//! the culprit host still looks healthy.
+//! this extends Figures 4/6 to the multi-host fabric): random,
+//! BO-surrogate, and counter-guided fabric campaigns on subsystem F's
+//! homogeneous fleet, hunting cross-host PFC pause storms where a victim
+//! flow collapses while the culprit host still looks healthy.
 //!
-//! All campaigns (2 strategies × 3 seeds) run as one parallel matrix via
-//! the shared bounded worker pool.
+//! All campaigns (3 strategies × 3 seeds, the same strategy column as the
+//! two-host Figure 4) run as one parallel matrix via the shared bounded
+//! worker pool.
 
 use collie_bench::{
     default_workers, fmt_minutes, run_fabric_campaign_matrix, text_table, CampaignSpec,
@@ -20,6 +21,7 @@ fn main() {
     let subsystem = SubsystemId::F;
     let configs = [
         ("Random", SearchConfig::random(0)),
+        ("BO", SearchConfig::bayesian(0)),
         ("Collie", SearchConfig::collie(0)),
     ];
 

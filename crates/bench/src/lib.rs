@@ -289,10 +289,13 @@ mod tests {
     #[test]
     fn fabric_matrix_matches_per_cell_runs() {
         // Fabric campaigns through the pool equal the same campaigns run
-        // individually: scheduling never changes results.
+        // individually: scheduling never changes results. All three fig7
+        // strategies — the BO cell runs the real generic surrogate driver,
+        // not a relabelled random baseline.
         let budget = SimDuration::from_secs(1800);
         let configs = [
             SearchConfig::random(0).with_budget(budget),
+            SearchConfig::bayesian(0).with_budget(budget),
             SearchConfig::collie(0).with_budget(budget),
         ];
         let cells: Vec<CampaignSpec> = configs
@@ -300,7 +303,7 @@ mod tests {
             .map(|config| CampaignSpec::seeded(SubsystemId::F, config, 5))
             .collect();
         let matrix = run_fabric_campaign_matrix(&cells, 2);
-        assert_eq!(matrix.len(), 2);
+        assert_eq!(matrix.len(), 3);
         for (cell, (outcome, _)) in cells.iter().zip(&matrix) {
             let mut engine = FabricEngine::for_catalog(cell.subsystem);
             let space = FabricSpace::for_host(&cell.subsystem.host());
@@ -308,5 +311,8 @@ mod tests {
             assert_eq!(&solo, outcome, "{}", cell.config.label());
             assert!(outcome.experiments > 0);
         }
+        // The BO and random cells share a seed; distinct outcomes prove the
+        // dispatch is not collapsing strategies.
+        assert_ne!(matrix[0].0, matrix[1].0, "BO cell ran the random loop");
     }
 }

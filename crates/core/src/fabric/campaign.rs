@@ -9,17 +9,21 @@
 //! extraction can never silence the rest of the run), extracts an MFS per
 //! discovery, and is a pure function of its seed.
 //!
-//! Strategies: random sampling and simulated annealing over the victim
-//! gauges ([`SignalMode::Diagnostic`] maximises the victim-port pause
-//! ratio, [`SignalMode::Performance`] minimises the victim throughput
-//! fraction). The Bayesian baseline is not ported to the fabric space —
-//! a [`SearchStrategy::Bayesian`] config runs the random baseline.
+//! Strategies: random sampling, Bayesian-optimisation surrogate search,
+//! and simulated annealing over the victim gauges
+//! ([`SignalMode::Diagnostic`] maximises the victim-port pause ratio,
+//! [`SignalMode::Performance`] minimises the victim throughput fraction).
+//! All three are the generic kernel drivers; the BO surrogate measures
+//! distances in the 19-dim fabric encoding
+//! ([`SearchDomain::surrogate_features`]), so a
+//! [`SearchStrategy::Bayesian`] config runs a real BO cell, not a
+//! relabelled random baseline.
 
 use super::{FabricEngine, FabricEvaluator};
 use crate::eval::EvalStats;
 use crate::monitor::{AnomalyMonitor, FeatureCondition, Symptom};
 use crate::search::domain::{CampaignReport, ExtractionCost, SearchDomain};
-use crate::search::kernel::{run_annealing, run_random, CampaignLoop};
+use crate::search::kernel::{run_annealing, run_bayesian, run_random, CampaignLoop};
 use crate::search::{SearchConfig, SearchStrategy, SignalMode};
 use crate::space::{FabricFeature, FabricPoint, FabricSpace, FeatureValue};
 use collie_rnic::counters::fabric as fabric_gauges;
@@ -233,6 +237,23 @@ impl SearchDomain for FabricDomain<'_, '_> {
         Vec::new()
     }
 
+    /// The 19-dim fabric surrogate vector: the culprit workload's 16-dim
+    /// encoding (so a fabric BO walk inherits the two-host geometry over
+    /// the embedded culprit pair) followed by the three fabric
+    /// coordinates. The small host/incast ladders are log-scaled like the
+    /// workload ladders; the traffic shape becomes its ladder index.
+    fn surrogate_features(&self, point: &FabricPoint) -> Vec<f64> {
+        let mut features = crate::search::WorkloadDomain::workload_surrogate(&point.workload);
+        features.push((point.host_count as f64).log2());
+        features.push((point.incast_degree as f64).log2());
+        features.push(match point.pattern {
+            collie_rnic::fabric::TrafficPattern::Incast => 0.0,
+            collie_rnic::fabric::TrafficPattern::Ring => 1.0,
+            collie_rnic::fabric::TrafficPattern::Paired => 2.0,
+        });
+        features
+    }
+
     fn mfs_identity(mfs: &FabricMfs) -> (Symptom, bool) {
         (mfs.symptom, mfs.cross_host)
     }
@@ -332,11 +353,16 @@ pub fn run_fabric_search_with_stats(
     };
     let domain = FabricDomain::new(&mut evaluator, &monitor, space, config.signal);
     let mut campaign = CampaignLoop::new(domain, config);
+    // One arm per strategy, each dispatching to the generic kernel driver
+    // of the same name: the outcome's label (derived from the strategy by
+    // `SearchConfig::label`) always names the driver that actually ran.
+    // (A Bayesian config used to be silently normalised to the random
+    // baseline while its report still said "BO" — the fabric surrogate
+    // encoding removed the need for that mapping.)
     match config.strategy {
         SearchStrategy::SimulatedAnnealing => run_annealing(&mut campaign),
-        // The BO surrogate is not ported to the fabric space; its cells run
-        // the random baseline so grids stay rectangular.
-        SearchStrategy::Random | SearchStrategy::Bayesian => run_random(&mut campaign),
+        SearchStrategy::Random => run_random(&mut campaign),
+        SearchStrategy::Bayesian => run_bayesian(&mut campaign),
     }
     let stats = campaign.eval_stats();
     (
@@ -469,6 +495,39 @@ mod tests {
             assert_eq!(d.symptom, Symptom::PauseStorm);
             assert!(d.point.shape().normalized().host_count >= 3);
         }
+    }
+
+    #[test]
+    fn fabric_strategy_labels_match_the_driver_that_ran() {
+        // Regression for the BO mislabeling: `SearchStrategy::Bayesian`
+        // used to be normalised to the random loop while the outcome (and
+        // every EXPERIMENTS row derived from it) still said "BO". The
+        // dispatch is now one arm per strategy, so each label must name a
+        // driver that produced a distinct campaign: same seed and budget,
+        // three strategies, three different RNG streams.
+        let space = FabricSpace::for_host(&SubsystemId::F.host());
+        let budget = SimDuration::from_secs(2 * 3600);
+        let configs = [
+            ("Random fabric", SearchConfig::random(5)),
+            ("BO(Diag) fabric", SearchConfig::bayesian(5)),
+            ("Collie(Diag) fabric", SearchConfig::collie(5)),
+        ];
+        let mut fingerprints = Vec::new();
+        for (expected_label, config) in configs {
+            let mut engine = FabricEngine::for_catalog(SubsystemId::F);
+            let outcome = run_fabric_search(&mut engine, &space, &config.with_budget(budget));
+            assert_eq!(outcome.label, expected_label);
+            assert!(outcome.experiments > 10, "{expected_label}");
+            fingerprints.push((
+                outcome.experiments,
+                outcome.elapsed,
+                outcome.trace.samples().len(),
+            ));
+        }
+        // In particular the BO cell is not the random baseline relabelled.
+        assert_ne!(fingerprints[0], fingerprints[1], "BO == Random stream");
+        assert_ne!(fingerprints[1], fingerprints[2], "BO == Collie stream");
+        assert_ne!(fingerprints[0], fingerprints[2], "Random == Collie stream");
     }
 
     #[test]

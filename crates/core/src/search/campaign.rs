@@ -15,6 +15,7 @@ use crate::monitor::{AnomalyMonitor, FeatureCondition, Mfs, Symptom};
 use crate::search::domain::{CampaignReport, ExtractionCost, SearchDomain};
 use crate::search::SignalMode;
 use crate::space::{Feature, FeatureValue, SearchPoint, SearchSpace};
+use collie_rnic::workload::{Opcode, Transport};
 use collie_sim::counters::CounterKind;
 use collie_sim::series::TimeSeries;
 use collie_sim::time::SimDuration;
@@ -186,6 +187,54 @@ impl<'a, 'e> WorkloadDomain<'a, 'e> {
             signal,
         }
     }
+
+    /// The 16-dim surrogate encoding of one two-host workload point:
+    /// numeric features are log-scaled, categorical features become small
+    /// integer codes. (The message pattern contributes two coordinates —
+    /// mean request size and burst length — which is why the vector is one
+    /// longer than the 15-feature projection.) An associated function so
+    /// the fabric domain can embed the culprit workload's encoding inside
+    /// its own surrogate vector without binding a two-host domain.
+    pub(crate) fn workload_surrogate(point: &SearchPoint) -> Vec<f64> {
+        let transport = match point.transport {
+            Transport::Rc => 0.0,
+            Transport::Uc => 1.0,
+            Transport::Ud => 2.0,
+        };
+        let opcode = match point.opcode {
+            Opcode::Send => 0.0,
+            Opcode::Write => 1.0,
+            Opcode::Read => 2.0,
+        };
+        // The GPU offset assumes hosts expose fewer than 4 NUMA nodes (a
+        // 5th node would collide with GPU 0 and break the injectivity
+        // contract of `surrogate_features`). Every catalog host satisfies
+        // this; the offset cannot grow without moving the golden fig4 BO
+        // streams, so a wider host must bump it together with a fixture
+        // re-record.
+        let memory_code = |m: &collie_host::memory::MemoryTarget| match m {
+            collie_host::memory::MemoryTarget::HostDram { numa_node } => *numa_node as f64,
+            collie_host::memory::MemoryTarget::GpuMemory { gpu_id } => 4.0 + *gpu_id as f64,
+        };
+        vec![
+            transport,
+            opcode,
+            (point.num_qps as f64).log2(),
+            (point.wqe_batch as f64).log2(),
+            point.sge_per_wqe as f64,
+            (point.send_queue_depth as f64).log2(),
+            (point.recv_queue_depth as f64).log2(),
+            (point.mtu as f64).log2(),
+            (point.mrs_per_qp as f64).log2(),
+            (point.mr_size_bytes as f64).log2(),
+            point.mean_message_bytes().max(1.0).log2(),
+            point.messages.len() as f64,
+            if point.bidirectional { 1.0 } else { 0.0 },
+            if point.with_loopback { 1.0 } else { 0.0 },
+            memory_code(&point.src_memory),
+            memory_code(&point.dst_memory),
+        ]
+    }
 }
 
 impl SearchDomain for WorkloadDomain<'_, '_> {
@@ -283,6 +332,12 @@ impl SearchDomain for WorkloadDomain<'_, '_> {
             .names(kind)
             .into_iter()
             .collect()
+    }
+
+    /// See `WorkloadDomain::workload_surrogate` (the fabric domain embeds
+    /// the same encoding, so the body lives in the associated function).
+    fn surrogate_features(&self, point: &SearchPoint) -> Vec<f64> {
+        WorkloadDomain::workload_surrogate(point)
     }
 
     fn mfs_identity(mfs: &Mfs) -> Symptom {
@@ -469,6 +524,21 @@ mod tests {
         // Performance mode: lower counter value = negative delta (better).
         assert!(campaign2.energy_delta(20.0, 10.0) < 0.0);
         assert!(campaign2.energy_delta(10.0, 20.0) > 0.0);
+    }
+
+    #[test]
+    fn surrogate_encoding_distinguishes_different_points() {
+        let (mut engine, space, monitor, config) = setup();
+        let mut evaluator = Evaluator::new(&mut engine);
+        let domain = WorkloadDomain::new(&mut evaluator, &monitor, &space, config.signal);
+        let a = SearchPoint::benign();
+        let mut b = SearchPoint::benign();
+        b.num_qps = 1024;
+        b.transport = Transport::Ud;
+        b.opcode = Opcode::Send;
+        assert_ne!(domain.surrogate_features(&a), domain.surrogate_features(&b));
+        assert_eq!(domain.surrogate_features(&a).len(), 16);
+        assert_eq!(domain.surrogate_features(&a), domain.surrogate_features(&a));
     }
 
     #[test]

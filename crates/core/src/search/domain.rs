@@ -142,6 +142,22 @@ pub trait SearchDomain {
     /// schedules (the fabric stack).
     fn rankable_counters(&self) -> Vec<String>;
 
+    // --- surrogate encoding (Bayesian baseline) ---
+
+    /// Encode a point into the numeric feature vector the BO baseline's
+    /// surrogate measures distances in
+    /// ([`run_bayesian`](crate::search::kernel::run_bayesian)).
+    ///
+    /// The vector must have a stable length for the domain, and distinct
+    /// points that differ in any coordinate of the feature projection must
+    /// encode to distinct vectors (`tests/surrogate_properties.rs` states
+    /// this per domain). Numeric coordinates should be normalised —
+    /// log-scale wide ladders so no single dimension dominates the
+    /// Euclidean metric — and categorical coordinates become small integer
+    /// codes. Encoding must not consume campaign randomness (same contract
+    /// as every other domain operation).
+    fn surrogate_features(&self, point: &Self::Point) -> Vec<f64>;
+
     // --- minimal feature sets ---
 
     /// The observable identity an MFS dedups against.

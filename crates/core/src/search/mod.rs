@@ -14,7 +14,6 @@
 //! the paper) is spent, so "time to find N anomalies" is measured on the
 //! same axis as the paper's figures.
 
-mod bayesian;
 mod campaign;
 pub mod domain;
 pub mod kernel;
@@ -65,7 +64,7 @@ pub enum SearchStrategy {
     Random,
     /// Bayesian-optimisation-style surrogate search (the §7.2 baseline,
     /// implemented as a nearest-neighbour surrogate with an exploration
-    /// bonus — see `bayesian` module docs for the simplification note).
+    /// bonus — see [`kernel::run_bayesian`] for the simplification note).
     Bayesian,
     /// Simulated annealing over counter values (Collie, Algorithm 1).
     SimulatedAnnealing,
@@ -293,7 +292,7 @@ pub fn run_search_with_stats(
     let mut campaign = CampaignLoop::new(domain, config);
     match config.strategy {
         SearchStrategy::Random => kernel::run_random(&mut campaign),
-        SearchStrategy::Bayesian => bayesian::run(&mut campaign),
+        SearchStrategy::Bayesian => kernel::run_bayesian(&mut campaign),
         SearchStrategy::SimulatedAnnealing => kernel::run_annealing(&mut campaign),
     }
     let stats = campaign.eval_stats();

@@ -23,6 +23,11 @@
 //! * `golden_fig{4,5}_kernel.json` — recorded from the unified kernel with
 //!   its default semantics (stuck-walk escape at 24, identity-keyed
 //!   dedup), pinning the *new* behaviour against future drift.
+//! * `golden_fig7_bo.json` — the fabric BO column (3 seeds), pinning the
+//!   generic `run_bayesian` driver on the fabric domain. First-generation:
+//!   the pre-kernel code had no fabric BO cell (a Bayesian config silently
+//!   ran the random baseline), so this fixture — unlike `golden_fig7.json`
+//!   — is recordable.
 //!
 //! A mismatch means an RNG stream or a discovery outcome moved —
 //! intentional changes must re-record with:
@@ -231,7 +236,10 @@ fn fig5_cells() -> Vec<CampaignSpec> {
         .collect()
 }
 
-/// The fig7 grid: random and counter-guided fabric campaigns, three seeds.
+/// The pre-kernel fig7 grid: random and counter-guided fabric campaigns,
+/// three seeds (the fabric BO cells did not exist yet — a Bayesian config
+/// was silently mapped to the random baseline, so the historical fixture
+/// has no honest BO column to compare against).
 fn fig7_cells() -> Vec<CampaignSpec> {
     let configs = [SearchConfig::random(0), SearchConfig::collie(0)];
     configs
@@ -241,6 +249,15 @@ fn fig7_cells() -> Vec<CampaignSpec> {
                 .iter()
                 .map(|&seed| CampaignSpec::seeded(SubsystemId::F, config, seed))
         })
+        .collect()
+}
+
+/// The fabric BO column of the fig7 grid (three seeds), completing the
+/// 3-strategy × 3-seed matrix the `fig7` binary reports.
+fn fig7_bo_cells() -> Vec<CampaignSpec> {
+    DEFAULT_SEEDS
+        .iter()
+        .map(|&seed| CampaignSpec::seeded(SubsystemId::F, &SearchConfig::bayesian(0), seed))
         .collect()
 }
 
@@ -304,6 +321,24 @@ fn golden_fig7_fabric_discovery_sequences_are_bit_identical_to_the_pre_kernel_co
         .map(|(cell, (outcome, _))| GoldenCell::from_fabric(outcome, cell.config.seed))
         .collect();
     record_or_compare("golden_fig7.json", &golden, false);
+}
+
+#[test]
+fn golden_fig7_bayesian_fabric_cells_are_pinned() {
+    // The fabric BO column is first-generation: `SearchStrategy::Bayesian`
+    // used to run the *random* baseline on fabric spaces (while the report
+    // still said "BO"), so there is no pre-kernel stream to compare
+    // against. This fixture pins the real generic-BO driver's fabric
+    // streams from the PR that introduced them; together with
+    // `golden_fig7.json` it covers the full 3-strategy × 3-seed fig7 grid.
+    let cells = fig7_bo_cells();
+    let outcomes = run_fabric_campaign_matrix(&cells, 2);
+    let golden: Vec<GoldenCell> = cells
+        .iter()
+        .zip(&outcomes)
+        .map(|(cell, (outcome, _))| GoldenCell::from_fabric(outcome, cell.config.seed))
+        .collect();
+    record_or_compare("golden_fig7_bo.json", &golden, true);
 }
 
 #[test]

@@ -1,0 +1,131 @@
+//! Property-based tests for the BO surrogate encoding
+//! (`SearchDomain::surrogate_features`), exercised through both domain
+//! bindings: the two-host `WorkloadDomain` (16 dims) and the fabric
+//! `FabricDomain` (19 dims: the embedded culprit workload plus host count,
+//! incast degree, and traffic shape).
+//!
+//! Sampled points are perturbed one feature-projection coordinate at a
+//! time (every alternative value the MFS extractor would probe) and two
+//! invariants asserted:
+//!
+//! 1. the vector length is stable across the whole space — the surrogate's
+//!    Euclidean metric is meaningless over ragged vectors;
+//! 2. the encoding is injective over single-coordinate changes — two
+//!    points that differ in any one coordinate of the feature projection
+//!    encode to distinct vectors, so the nearest-neighbour predictor can
+//!    never conflate them at distance zero.
+//!
+//! Seeds come from the PROPTEST_SEED-pinned proptest driver, so a red CI
+//! run reproduces locally with the same one-liner.
+
+use collie::core::fabric::{FabricDomain, FabricEngine, FabricEvaluator};
+use collie::core::search::{SearchDomain, WorkloadDomain};
+use collie::core::space::{FabricFeature, Feature};
+use collie::prelude::*;
+use collie::sim::rng::SimRng;
+use collie_core::eval::Evaluator;
+use proptest::prelude::*;
+
+/// The two-host surrogate vector: transport, opcode, the log-scaled
+/// numeric ladders, the two message-pattern coordinates, the two flags,
+/// and the two memory codes.
+const TWO_HOST_DIMS: usize = 16;
+/// The fabric surrogate vector: the embedded two-host encoding plus host
+/// count, incast degree, and traffic-shape code.
+const FABRIC_DIMS: usize = TWO_HOST_DIMS + 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32 })]
+
+    #[test]
+    fn two_host_surrogate_is_injective_over_single_coordinate_changes(seed in any::<u64>()) {
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let monitor = AnomalyMonitor::new();
+        let mut evaluator = Evaluator::new(&mut engine);
+        let domain = WorkloadDomain::new(&mut evaluator, &monitor, &space, SignalMode::Diagnostic);
+
+        let mut rng = SimRng::new(seed);
+        let point = space.random_point(&mut rng);
+        let base = domain.surrogate_features(&point);
+        prop_assert_eq!(base.len(), TWO_HOST_DIMS);
+        prop_assert!(base.iter().all(|v| v.is_finite()), "{base:?}");
+
+        for feature in Feature::ALL {
+            for alt in space.alternatives(&point, feature) {
+                let mut other = point.clone();
+                other.apply(feature, &alt);
+                let encoded = domain.surrogate_features(&other);
+                prop_assert_eq!(encoded.len(), TWO_HOST_DIMS);
+                if other != point {
+                    prop_assert!(
+                        encoded != base,
+                        "changing {} to {} left the surrogate vector unchanged for {}",
+                        feature, alt, point
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_surrogate_is_injective_over_single_coordinate_changes(seed in any::<u64>()) {
+        let space = FabricSpace::for_host(&SubsystemId::F.host());
+        let mut engine = FabricEngine::for_catalog(SubsystemId::F);
+        let monitor = AnomalyMonitor::new();
+        let mut evaluator = FabricEvaluator::new(&mut engine);
+        let domain = FabricDomain::new(&mut evaluator, &monitor, &space, SignalMode::Diagnostic);
+
+        let mut rng = SimRng::new(seed);
+        let point = space.random_point(&mut rng);
+        let base = domain.surrogate_features(&point);
+        prop_assert_eq!(base.len(), FABRIC_DIMS);
+        prop_assert!(base.iter().all(|v| v.is_finite()), "{base:?}");
+
+        for feature in FabricFeature::all() {
+            for alt in space.alternatives(&point, feature) {
+                let mut other = point.clone();
+                other.apply(feature, &alt);
+                let encoded = domain.surrogate_features(&other);
+                prop_assert_eq!(encoded.len(), FABRIC_DIMS);
+                if other != point {
+                    prop_assert!(
+                        encoded != base,
+                        "changing {} to {} left the surrogate vector unchanged for {}",
+                        feature, alt, point
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fabric_surrogate_embeds_the_two_host_encoding() {
+    // The fabric vector's two-host prefix is byte-identical to the
+    // workload encoding of the embedded culprit point, so a fabric BO
+    // walk measures culprit-pair distances exactly like the two-host
+    // baseline does — the property the generalisation was built on.
+    let space = SearchSpace::for_host(&SubsystemId::F.host());
+    let fabric_space = FabricSpace::for_host(&SubsystemId::F.host());
+    let monitor = AnomalyMonitor::new();
+    let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+    let mut evaluator = Evaluator::new(&mut engine);
+    let two_host = WorkloadDomain::new(&mut evaluator, &monitor, &space, SignalMode::Diagnostic);
+    let mut fabric_engine = FabricEngine::for_catalog(SubsystemId::F);
+    let mut fabric_evaluator = FabricEvaluator::new(&mut fabric_engine);
+    let fabric = FabricDomain::new(
+        &mut fabric_evaluator,
+        &monitor,
+        &fabric_space,
+        SignalMode::Diagnostic,
+    );
+
+    let mut rng = SimRng::new(7);
+    for _ in 0..32 {
+        let point = fabric_space.random_point(&mut rng);
+        let fabric_vector = fabric.surrogate_features(&point);
+        let workload_vector = two_host.surrogate_features(&point.workload);
+        assert_eq!(fabric_vector[..TWO_HOST_DIMS], workload_vector[..]);
+    }
+}
