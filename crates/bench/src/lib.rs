@@ -51,13 +51,31 @@ impl CampaignSpec {
 }
 
 /// The worker-pool width used when the caller does not pick one: the
-/// machine's parallelism, bounded so a huge host does not spawn more
-/// campaign threads than the matrix can feed.
+/// `COLLIE_WORKERS` environment variable when set (clamped to at least 1),
+/// otherwise the machine's parallelism, bounded so a huge host does not
+/// spawn more campaign threads than the matrix can feed.
+///
+/// The override matters once campaigns speculate internally
+/// (`COLLIE_SPECULATION`): each campaign then spawns its own lookahead
+/// workers, and an operator may want fewer matrix threads so the two pools
+/// do not oversubscribe the machine.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(2, 16)
+    match parse_workers(std::env::var("COLLIE_WORKERS").ok().as_deref()) {
+        Some(workers) => workers,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 16),
+    }
+}
+
+/// `COLLIE_WORKERS` parser, separated from the env read so it can be
+/// tested without mutating process-global state under a parallel test
+/// runner. Positive integers are honoured as-is; `0` clamps to 1 (a pool
+/// cannot be empty); anything unparsable falls back to the automatic
+/// width.
+fn parse_workers(value: Option<&str>) -> Option<usize> {
+    value?.trim().parse::<usize>().ok().map(|n| n.max(1))
 }
 
 /// Map `f` over `items` on a bounded pool of scoped worker threads,
@@ -284,6 +302,28 @@ mod tests {
     fn fmt_minutes_handles_missing() {
         assert_eq!(fmt_minutes(Some(12.34)), "12.3");
         assert_eq!(fmt_minutes(None), "not found");
+    }
+
+    #[test]
+    fn workers_override_parses_and_clamps() {
+        // CI and operators pin the matrix pool with COLLIE_WORKERS; this
+        // pins the parser without touching process-global state.
+        for (value, expected) in [
+            (None, None),
+            (Some(""), None),
+            (Some("  "), None),
+            (Some("not a pool"), None),
+            (Some("-2"), None),
+            (Some("0"), Some(1)),
+            (Some("1"), Some(1)),
+            (Some(" 3 "), Some(3)),
+            (Some("24"), Some(24)),
+        ] {
+            assert_eq!(parse_workers(value), expected, "COLLIE_WORKERS={value:?}");
+        }
+        // Whatever the machine (or an inherited COLLIE_WORKERS) looks
+        // like, the pool is never empty.
+        assert!(default_workers() >= 1);
     }
 
     #[test]

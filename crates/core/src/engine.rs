@@ -49,6 +49,25 @@ impl WorkloadEngine {
         WorkloadEngine::new(id.build())
     }
 
+    /// An independent engine over the same subsystem configuration.
+    ///
+    /// Speculation workers need their own engine: `Subsystem` is `Clone`,
+    /// but a clone would share the counter registry handle with the
+    /// original, so two engines measuring concurrently would race on
+    /// counter state. The fork instead reassembles the subsystem from its
+    /// configuration, giving it a fresh registry, counters, and switch —
+    /// [`WorkloadEngine::measure`]'s determinism contract guarantees the
+    /// fork measures identically to its parent.
+    pub fn fork(&self) -> Self {
+        let s = &self.subsystem;
+        WorkloadEngine::new(Subsystem::new(
+            s.name.clone(),
+            s.rnic.clone(),
+            s.host_a.clone(),
+            s.host_b.clone(),
+        ))
+    }
+
     /// The subsystem under test.
     pub fn subsystem(&self) -> &Subsystem {
         &self.subsystem
@@ -344,6 +363,27 @@ mod tests {
         p.mtu = 2048;
         let rules = e.ground_truth(&p);
         assert!(rules.contains(&"collie/1"), "{rules:?}");
+    }
+
+    #[test]
+    fn forked_engines_measure_identically_and_independently() {
+        let mut e = engine();
+        let mut p = SearchPoint::benign();
+        p.transport = Transport::Ud;
+        p.opcode = Opcode::Send;
+        p.wqe_batch = 64;
+        p.recv_queue_depth = 256;
+        p.messages = vec![2048];
+        p.mtu = 2048;
+        let mut fork = e.fork();
+        // Dirty the fork's state with a different point, then confirm both
+        // engines still agree: measurements are pure functions of the point.
+        let _ = fork.measure(&SearchPoint::benign());
+        assert_eq!(e.measure(&p), fork.measure(&p));
+        assert_eq!(
+            e.measure(&SearchPoint::benign()),
+            fork.measure(&SearchPoint::benign())
+        );
     }
 
     #[test]

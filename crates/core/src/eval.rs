@@ -23,6 +23,10 @@ use crate::monitor::{AnomalyMonitor, AnomalyVerdict};
 use crate::space::SearchPoint;
 use collie_rnic::subsystem::{Measurement, Subsystem};
 use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
 
 /// Cache effectiveness counters of one [`Evaluator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,6 +50,194 @@ impl EvalStats {
     }
 }
 
+const SHARD_COUNT: usize = 16;
+
+/// One entry of a [`SharedCache`] shard.
+enum Slot<M> {
+    /// Claimed: some thread is computing this point right now.
+    Pending,
+    /// Computed and published.
+    Ready(Arc<M>),
+}
+
+/// Outcome of [`SharedCache::try_claim`].
+pub enum Claim<M> {
+    /// The caller owns the computation and **must** call
+    /// [`SharedCache::fulfill`] for this point.
+    Mine,
+    /// Another thread is already computing this point.
+    InFlight,
+    /// The measurement is already published.
+    Ready(Arc<M>),
+}
+
+struct Shard<P, M> {
+    slots: parking_lot::Mutex<HashMap<P, Slot<M>>>,
+    /// Signalled whenever a pending slot of this shard becomes ready.
+    ready: Condvar,
+}
+
+/// A sharded concurrent memo cache shared between a committing evaluator
+/// and its speculation workers.
+///
+/// Each point is computed exactly once no matter how many threads ask for
+/// it: the first asker installs a pending claim, everyone else
+/// either blocks on the shard's condvar ([`SharedCache::get_or_compute`])
+/// or backs off ([`SharedCache::try_claim`]) until the claimant publishes
+/// via [`SharedCache::fulfill`]. The stats invariant — `T` calls to
+/// `get_or_compute` over `D` distinct keys give exactly `computed == D`
+/// and `served == T − D` — is what the concurrency tests pin.
+pub struct SharedCache<P, M> {
+    shards: Vec<Shard<P, M>>,
+    computed: AtomicU64,
+    served: AtomicU64,
+}
+
+impl<P: Clone + Eq + Hash, M> SharedCache<P, M> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SharedCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Shard {
+                    slots: parking_lot::Mutex::new(HashMap::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            computed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, point: &P) -> &Shard<P, M> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        point.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    /// Return the published measurement for `point`, computing it with
+    /// `compute` if this caller is the first asker, or blocking until the
+    /// current claimant publishes it.
+    pub fn get_or_compute(&self, point: &P, compute: impl FnOnce() -> M) -> Arc<M> {
+        let shard = self.shard(point);
+        let mut slots = shard.slots.lock();
+        loop {
+            match slots.get(point) {
+                Some(Slot::Ready(measurement)) => {
+                    self.served.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(measurement);
+                }
+                Some(Slot::Pending) => {
+                    slots = shard.ready.wait(slots).unwrap_or_else(|e| e.into_inner());
+                }
+                None => {
+                    slots.insert(point.clone(), Slot::Pending);
+                    drop(slots);
+                    let measurement = compute();
+                    return self.fulfill(point.clone(), measurement);
+                }
+            }
+        }
+    }
+
+    /// Claim `point` without blocking. A `Mine` claimant owns the compute
+    /// and must publish through [`SharedCache::fulfill`]; nobody else may
+    /// fulfill a point they did not claim.
+    pub fn try_claim(&self, point: &P) -> Claim<M> {
+        let mut slots = self.shard(point).slots.lock();
+        match slots.get(point) {
+            Some(Slot::Ready(measurement)) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                Claim::Ready(Arc::clone(measurement))
+            }
+            Some(Slot::Pending) => Claim::InFlight,
+            None => {
+                slots.insert(point.clone(), Slot::Pending);
+                Claim::Mine
+            }
+        }
+    }
+
+    /// Publish the measurement for a point claimed earlier and wake every
+    /// thread blocked on it.
+    pub fn fulfill(&self, point: P, measurement: M) -> Arc<M> {
+        let shard = self.shard(&point);
+        let measurement = Arc::new(measurement);
+        shard
+            .slots
+            .lock()
+            .insert(point, Slot::Ready(Arc::clone(&measurement)));
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        shard.ready.notify_all();
+        measurement
+    }
+
+    /// The published measurement, if any — never blocks, never counts as a
+    /// serve (used by speculation heuristics, not by evaluators).
+    pub fn peek(&self, point: &P) -> Option<Arc<M>> {
+        match self.shard(point).slots.lock().get(point) {
+            Some(Slot::Ready(measurement)) => Some(Arc::clone(measurement)),
+            _ => None,
+        }
+    }
+
+    /// Whether the point is claimed or published.
+    pub fn contains(&self, point: &P) -> bool {
+        self.shard(point).slots.lock().contains_key(point)
+    }
+
+    /// Number of measurements computed (each distinct point exactly once).
+    pub fn computed_count(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests answered from an already-published slot.
+    pub fn served_count(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+}
+
+impl<P: Clone + Eq + Hash, M> Default for SharedCache<P, M> {
+    fn default() -> Self {
+        SharedCache::new()
+    }
+}
+
+impl<P, M> fmt::Debug for SharedCache<P, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedCache")
+            .field("computed", &self.computed.load(Ordering::Relaxed))
+            .field("served", &self.served.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A speculation worker: computes measurements for pre-drawn points on its
+/// own forked engine, publishing them into the [`SharedCache`].
+pub trait SpecWorker<P, M>: Send {
+    /// Compute the measurement for `point` from scratch.
+    fn compute(&mut self, point: &P) -> M;
+}
+
+/// Everything a campaign loop needs to evaluate speculatively: the shared
+/// memo cache (already wired into the committing evaluator) plus one
+/// independent engine fork per evaluation thread.
+pub struct SpeculationParts<P, M> {
+    /// Concurrent cache shared by the committing evaluator and all workers.
+    pub shared: Arc<SharedCache<P, M>>,
+    /// One forked compute engine per worker thread.
+    pub workers: Vec<Box<dyn SpecWorker<P, M>>>,
+}
+
+struct ForkedEngineWorker {
+    engine: WorkloadEngine,
+}
+
+impl SpecWorker<SearchPoint, Measurement> for ForkedEngineWorker {
+    fn compute(&mut self, point: &SearchPoint) -> Measurement {
+        self.engine.measure(point)
+    }
+}
+
 /// A memoizing wrapper around one engine.
 ///
 /// The evaluator does **not** do cost accounting: callers (the campaign,
@@ -53,10 +245,16 @@ impl EvalStats {
 /// measurement whether or not it hit the cache, because on hardware the
 /// repeat would have to run. Memoization only skips the flow-model
 /// recompute.
+///
+/// With speculation enabled ([`Evaluator::speculation`]) a local miss
+/// first consults the [`SharedCache`] that worker threads fill; the
+/// hit/miss stats are counted off the local cache alone, so they are
+/// bit-identical whether or not workers got there first.
 #[derive(Debug)]
 pub struct Evaluator<'e> {
     engine: &'e mut WorkloadEngine,
-    cache: HashMap<SearchPoint, Measurement>,
+    cache: HashMap<SearchPoint, Arc<Measurement>>,
+    shared: Option<Arc<SharedCache<SearchPoint, Measurement>>>,
     memoize: bool,
     stats: EvalStats,
 }
@@ -67,6 +265,7 @@ impl<'e> Evaluator<'e> {
         Evaluator {
             engine,
             cache: HashMap::new(),
+            shared: None,
             memoize: true,
             stats: EvalStats::default(),
         }
@@ -90,12 +289,17 @@ impl<'e> Evaluator<'e> {
         }
         if let Some(measurement) = self.cache.get(point) {
             self.stats.hits += 1;
-            return measurement.clone();
+            return (**measurement).clone();
         }
         self.stats.misses += 1;
-        let measurement = self.engine.measure(point);
-        self.cache.insert(point.clone(), measurement.clone());
-        measurement
+        let measurement = if let Some(shared) = self.shared.as_ref().map(Arc::clone) {
+            let engine = &mut *self.engine;
+            shared.get_or_compute(point, || engine.measure(point))
+        } else {
+            Arc::new(self.engine.measure(point))
+        };
+        self.cache.insert(point.clone(), Arc::clone(&measurement));
+        (*measurement).clone()
     }
 
     /// The paper's §6 measurement procedure through the cache: sample the
@@ -110,11 +314,17 @@ impl<'e> Evaluator<'e> {
         monitor: &AnomalyMonitor,
         point: &SearchPoint,
     ) -> (Measurement, AnomalyVerdict) {
-        let mut last = None;
-        for _ in 0..monitor.samples_per_iteration.max(1) {
-            last = Some(self.measure(point));
+        let samples = monitor.samples_per_iteration.max(1);
+        let measurement = self.measure(point);
+        if self.memoize {
+            // Repeats of an identical deterministic sample are guaranteed
+            // cache hits; account for them without the redundant lookups.
+            self.stats.hits += u64::from(samples - 1);
+        } else {
+            for _ in 1..samples {
+                let _ = self.measure(point);
+            }
         }
-        let measurement = last.expect("at least one sample");
         let verdict = monitor.assess(&measurement, &self.subsystem().rnic);
         (measurement, verdict)
     }
@@ -138,6 +348,30 @@ impl<'e> Evaluator<'e> {
     /// Number of distinct points held in the cache.
     pub fn cached_points(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Prepare shared-cache speculation: wires a [`SharedCache`] into this
+    /// evaluator and forks `workers` independent engines for the worker
+    /// threads. Returns `None` when memoization is off (without a memo
+    /// cache, speculated results could not be handed back to the
+    /// committing loop) or when no workers were requested.
+    pub fn speculation(
+        &mut self,
+        workers: usize,
+    ) -> Option<SpeculationParts<SearchPoint, Measurement>> {
+        if !self.memoize || workers == 0 {
+            return None;
+        }
+        let shared = Arc::new(SharedCache::new());
+        self.shared = Some(Arc::clone(&shared));
+        let workers = (0..workers)
+            .map(|_| {
+                Box::new(ForkedEngineWorker {
+                    engine: self.engine.fork(),
+                }) as Box<dyn SpecWorker<SearchPoint, Measurement>>
+            })
+            .collect();
+        Some(SpeculationParts { shared, workers })
     }
 }
 
@@ -222,5 +456,103 @@ mod tests {
         assert_eq!(EvalStats::default().hit_rate(), 0.0);
         let stats = EvalStats { hits: 3, misses: 1 };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_cache_counts_are_exact_under_concurrent_access() {
+        let cache: Arc<SharedCache<u64, u64>> = Arc::new(SharedCache::new());
+        let threads = 8u64;
+        let keys = 64u64;
+        let repeats = 5u64;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move |_| {
+                    for r in 0..repeats {
+                        for k in 0..keys {
+                            // Visit order differs per thread and per pass.
+                            let k = (k + t + r) % keys;
+                            let v = cache.get_or_compute(&k, || k * 3);
+                            assert_eq!(*v, k * 3);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("threads ok");
+        let total = threads * repeats * keys;
+        assert_eq!(
+            cache.computed_count(),
+            keys,
+            "every key computed exactly once"
+        );
+        assert_eq!(
+            cache.served_count(),
+            total - keys,
+            "no lost updates in the serve counter"
+        );
+    }
+
+    #[test]
+    fn claim_protocol_hands_each_point_to_exactly_one_claimant() {
+        let cache: SharedCache<u32, u32> = SharedCache::new();
+        assert!(matches!(cache.try_claim(&7), Claim::Mine));
+        assert!(matches!(cache.try_claim(&7), Claim::InFlight));
+        assert!(cache.contains(&7));
+        assert!(cache.peek(&7).is_none(), "pending slots are not peekable");
+        cache.fulfill(7, 49);
+        assert!(matches!(cache.try_claim(&7), Claim::Ready(v) if *v == 49));
+        assert_eq!(*cache.peek(&7).expect("ready"), 49);
+        assert_eq!(cache.computed_count(), 1);
+    }
+
+    #[test]
+    fn waiters_block_on_in_flight_points_instead_of_recomputing() {
+        let cache: Arc<SharedCache<u32, u32>> = Arc::new(SharedCache::new());
+        assert!(matches!(cache.try_claim(&1), Claim::Mine));
+        crossbeam::thread::scope(|scope| {
+            let waiter = {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move |_| *cache.get_or_compute(&1, || panic!("must not recompute")))
+            };
+            // Give the waiter a chance to park before publishing.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            cache.fulfill(1, 11);
+            assert_eq!(waiter.join().expect("waiter ok"), 11);
+        })
+        .expect("threads ok");
+        assert_eq!(cache.computed_count(), 1);
+        assert_eq!(cache.served_count(), 1);
+    }
+
+    #[test]
+    fn speculation_workers_fill_the_cache_the_evaluator_reads() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let mut reference = WorkloadEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = Evaluator::new(&mut engine);
+        let SpeculationParts {
+            shared,
+            mut workers,
+        } = evaluator.speculation(2).expect("memoized evaluator");
+        assert_eq!(workers.len(), 2);
+        let p = anomalous_point();
+        let m = workers[0].compute(&p);
+        assert_eq!(m, reference.measure(&p), "fork agrees with a fresh engine");
+        shared.fulfill(p.clone(), m);
+        // A local miss consults the shared cache: the stats still record a
+        // miss (they are counted off the local cache alone), but the value
+        // comes from the worker's publication, not a recompute.
+        let got = evaluator.measure(&p);
+        assert_eq!(got, reference.measure(&p));
+        assert_eq!(evaluator.stats(), EvalStats { hits: 0, misses: 1 });
+        assert_eq!(shared.computed_count(), 1);
+        assert_eq!(shared.served_count(), 1);
+    }
+
+    #[test]
+    fn speculation_requires_memoization_and_workers() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        assert!(Evaluator::uncached(&mut engine).speculation(4).is_none());
+        assert!(Evaluator::new(&mut engine).speculation(0).is_none());
     }
 }

@@ -35,7 +35,7 @@ pub use campaign::{
 pub use mfs::{FabricExtractionOutcome, FabricMfs, FabricMfsExtractor, FabricSignature};
 
 use crate::engine::WorkloadEngine;
-use crate::eval::EvalStats;
+use crate::eval::{EvalStats, SharedCache, SpecWorker, SpeculationParts};
 use crate::monitor::{AnomalyMonitor, Symptom};
 use crate::space::{FabricPoint, SearchPoint};
 use collie_rnic::fabric::{evaluate_fabric, FabricMeasurement};
@@ -44,6 +44,7 @@ use collie_rnic::subsystems::SubsystemId;
 use collie_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Sets up and runs fabric experiments: N homogeneous hosts around the
 /// wrapped two-host engine.
@@ -70,6 +71,16 @@ impl FabricEngine {
     /// A fabric engine over one of the Table-1 subsystems.
     pub fn for_catalog(id: SubsystemId) -> Self {
         FabricEngine::new(WorkloadEngine::for_catalog(id))
+    }
+
+    /// An independent engine over the same fabric configuration (see
+    /// [`WorkloadEngine::fork`]); the benign baseline is reused rather than
+    /// re-measured, which the determinism contract makes exact.
+    pub fn fork(&self) -> Self {
+        FabricEngine {
+            engine: self.engine.fork(),
+            baseline: self.baseline.clone(),
+        }
     }
 
     /// The subsystem under test (every host of the fabric is a copy of its
@@ -167,13 +178,27 @@ pub fn assess_fabric(monitor: &AnomalyMonitor, fm: &FabricMeasurement) -> Fabric
 /// A memoizing wrapper around one fabric engine (the fabric counterpart of
 /// [`Evaluator`](crate::eval::Evaluator); same cost-accounting split: the
 /// campaign keeps charging simulated hardware time per measurement whether
-/// or not it hit the cache).
+/// or not it hit the cache). With speculation enabled
+/// ([`FabricEvaluator::speculation`]) a local miss first consults the
+/// worker-filled [`SharedCache`]; stats are counted off the local cache
+/// alone, so they are bit-identical either way.
 #[derive(Debug)]
 pub struct FabricEvaluator<'e> {
     engine: &'e mut FabricEngine,
-    cache: HashMap<FabricPoint, FabricMeasurement>,
+    cache: HashMap<FabricPoint, Arc<FabricMeasurement>>,
+    shared: Option<Arc<SharedCache<FabricPoint, FabricMeasurement>>>,
     memoize: bool,
     stats: EvalStats,
+}
+
+struct ForkedFabricWorker {
+    engine: FabricEngine,
+}
+
+impl SpecWorker<FabricPoint, FabricMeasurement> for ForkedFabricWorker {
+    fn compute(&mut self, point: &FabricPoint) -> FabricMeasurement {
+        self.engine.measure(point)
+    }
 }
 
 impl<'e> FabricEvaluator<'e> {
@@ -182,6 +207,7 @@ impl<'e> FabricEvaluator<'e> {
         FabricEvaluator {
             engine,
             cache: HashMap::new(),
+            shared: None,
             memoize: true,
             stats: EvalStats::default(),
         }
@@ -205,12 +231,17 @@ impl<'e> FabricEvaluator<'e> {
         }
         if let Some(measurement) = self.cache.get(point) {
             self.stats.hits += 1;
-            return measurement.clone();
+            return (**measurement).clone();
         }
         self.stats.misses += 1;
-        let measurement = self.engine.measure(point);
-        self.cache.insert(point.clone(), measurement.clone());
-        measurement
+        let measurement = if let Some(shared) = self.shared.as_ref().map(Arc::clone) {
+            let engine = &mut *self.engine;
+            shared.get_or_compute(point, || engine.measure(point))
+        } else {
+            Arc::new(self.engine.measure(point))
+        };
+        self.cache.insert(point.clone(), Arc::clone(&measurement));
+        (*measurement).clone()
     }
 
     /// The §6 measurement procedure through the cache: sample the fabric
@@ -221,13 +252,41 @@ impl<'e> FabricEvaluator<'e> {
         monitor: &AnomalyMonitor,
         point: &FabricPoint,
     ) -> (FabricMeasurement, FabricVerdict) {
-        let mut last = None;
-        for _ in 0..monitor.samples_per_iteration.max(1) {
-            last = Some(self.measure(point));
+        let samples = monitor.samples_per_iteration.max(1);
+        let measurement = self.measure(point);
+        if self.memoize {
+            // Repeats of an identical deterministic sample are guaranteed
+            // cache hits; account for them without the redundant lookups.
+            self.stats.hits += u64::from(samples - 1);
+        } else {
+            for _ in 1..samples {
+                let _ = self.measure(point);
+            }
         }
-        let measurement = last.expect("at least one sample");
         let verdict = assess_fabric(monitor, &measurement);
         (measurement, verdict)
+    }
+
+    /// Prepare shared-cache speculation (see
+    /// [`Evaluator::speculation`](crate::eval::Evaluator::speculation)):
+    /// `None` when memoization is off or no workers were requested.
+    pub fn speculation(
+        &mut self,
+        workers: usize,
+    ) -> Option<SpeculationParts<FabricPoint, FabricMeasurement>> {
+        if !self.memoize || workers == 0 {
+            return None;
+        }
+        let shared = Arc::new(SharedCache::new());
+        self.shared = Some(Arc::clone(&shared));
+        let workers = (0..workers)
+            .map(|_| {
+                Box::new(ForkedFabricWorker {
+                    engine: self.engine.fork(),
+                }) as Box<dyn SpecWorker<FabricPoint, FabricMeasurement>>
+            })
+            .collect();
+        Some(SpeculationParts { shared, workers })
     }
 
     /// The subsystem under test.
@@ -382,6 +441,35 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(evaluator.stats(), EvalStats { hits: 0, misses: 2 });
         assert_eq!(evaluator.cached_points(), 0);
+    }
+
+    #[test]
+    fn forked_fabric_engines_measure_identically() {
+        let mut engine = FabricEngine::for_catalog(SubsystemId::F);
+        let mut fork = engine.fork();
+        let p = cross_host_culprit();
+        let _ = fork.measure(&storming_culprit());
+        assert_eq!(engine.measure(&p), fork.measure(&p));
+        assert_eq!(engine.baseline(), fork.baseline());
+    }
+
+    #[test]
+    fn fabric_speculation_workers_fill_the_shared_cache() {
+        let mut engine = FabricEngine::for_catalog(SubsystemId::F);
+        let mut reference = FabricEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = FabricEvaluator::new(&mut engine);
+        let parts = evaluator.speculation(1).expect("memoized evaluator");
+        let p = cross_host_culprit();
+        let mut workers = parts.workers;
+        let m = workers[0].compute(&p);
+        assert_eq!(m, reference.measure(&p));
+        parts.shared.fulfill(p.clone(), m);
+        assert_eq!(evaluator.measure(&p), reference.measure(&p));
+        assert_eq!(evaluator.stats(), EvalStats { hits: 0, misses: 1 });
+        assert_eq!(parts.shared.computed_count(), 1);
+
+        let mut uncached = FabricEvaluator::uncached(&mut reference);
+        assert!(uncached.speculation(2).is_none());
     }
 
     #[test]

@@ -131,6 +131,20 @@ pub struct SearchConfig {
     /// pre-kernel two-host containment-only dedup for the golden-trace
     /// compatibility grids.
     pub identity_dedup: bool,
+    /// Speculative lookahead depth: `Some(k)` lets the campaign pre-draw up
+    /// to `k` likely-next proposals from a forked RNG and evaluate them on
+    /// worker threads through a shared memo cache, committing results
+    /// strictly in serial stream order (DESIGN.md §9). `None` runs the
+    /// classic serial loop. Speculation is an execution strategy, not a
+    /// search strategy: the campaign output is bit-identical either way, so
+    /// the knob is excluded from serialization and cannot leak into golden
+    /// fixtures.
+    ///
+    /// Defaults to `None`; the `COLLIE_SPECULATION` environment variable
+    /// sets the constructor default (a depth such as `4`, or `on` for the
+    /// default depth) so CI can run the whole suite speculatively.
+    #[serde(skip)]
+    pub speculation: Option<usize>,
 }
 
 impl SearchConfig {
@@ -151,6 +165,7 @@ impl SearchConfig {
             iterations_per_temperature: 8,
             stuck_skip_limit: Some(24),
             identity_dedup: true,
+            speculation: SearchConfig::default_speculation(),
         }
     }
 
@@ -209,6 +224,13 @@ impl SearchConfig {
         self
     }
 
+    /// Set the speculative lookahead depth (`None` keeps the serial loop;
+    /// see [`SearchConfig::speculation`]).
+    pub fn with_speculation(mut self, speculation: Option<usize>) -> SearchConfig {
+        self.speculation = speculation;
+        self
+    }
+
     /// The pre-kernel two-host campaign semantics: no stuck-walk escape
     /// and containment-only discovery dedup. The golden-trace suite runs
     /// the fig4/fig5 grids in this mode to prove the kernel unification
@@ -247,6 +269,43 @@ impl SearchConfig {
     pub fn default_memoize() -> bool {
         parse_memoize(std::env::var("COLLIE_MEMOIZE").ok().as_deref())
     }
+
+    /// The constructor default for [`SearchConfig::speculation`]: `None`
+    /// (serial), unless the `COLLIE_SPECULATION` environment variable
+    /// enables a lookahead depth so CI can run the whole suite
+    /// speculatively. Exposed so tests can derive their expectation from
+    /// the one parser instead of re-implementing the rule.
+    pub fn default_speculation() -> Option<usize> {
+        parse_speculation(std::env::var("COLLIE_SPECULATION").ok().as_deref())
+    }
+}
+
+/// The lookahead depth `COLLIE_SPECULATION=on` selects.
+const DEFAULT_SPECULATION_LOOKAHEAD: usize = 4;
+
+/// Ceiling on the lookahead depth an environment value can request: deeper
+/// speculation only wastes mis-speculated work, and a typo like
+/// `COLLIE_SPECULATION=1000000` must not spawn a thread per unit.
+const MAX_SPECULATION_LOOKAHEAD: usize = 64;
+
+/// `COLLIE_SPECULATION` parser, separated from the env read so it can be
+/// tested without mutating process-global state under a parallel test
+/// runner. Numeric values pick the lookahead depth (`0` disables);
+/// `on`/`true`/`yes` pick the default depth; `off`/`false`/empty and
+/// anything unparsable stay serial — speculation is an opt-in accelerator,
+/// so a malformed value must fail safe (serial is always correct).
+fn parse_speculation(value: Option<&str>) -> Option<usize> {
+    let value = value?.trim();
+    if value.is_empty() {
+        return None;
+    }
+    if let Ok(depth) = value.parse::<usize>() {
+        return (depth > 0).then(|| depth.min(MAX_SPECULATION_LOOKAHEAD));
+    }
+    ["on", "true", "yes"]
+        .iter()
+        .any(|enable| value.eq_ignore_ascii_case(enable))
+        .then_some(DEFAULT_SPECULATION_LOOKAHEAD)
 }
 
 /// `COLLIE_MEMOIZE` parser, separated from the env read so it can be
@@ -290,6 +349,9 @@ pub fn run_search_with_stats(
     };
     let domain = WorkloadDomain::new(&mut evaluator, &monitor, space, config.signal);
     let mut campaign = CampaignLoop::new(domain, config);
+    if let Some(lookahead) = config.speculation {
+        campaign.enable_speculation(lookahead);
+    }
     match config.strategy {
         SearchStrategy::Random => kernel::run_random(&mut campaign),
         SearchStrategy::Bayesian => kernel::run_bayesian(&mut campaign),
@@ -423,6 +485,81 @@ mod tests {
         ] {
             assert_eq!(parse_memoize(value), expected, "COLLIE_MEMOIZE={value:?}");
         }
+    }
+
+    #[test]
+    fn speculation_default_honours_the_env_toggle_values() {
+        // CI exports COLLIE_SPECULATION=4 for the speculative matrix leg;
+        // this pins the parser without touching process-global state.
+        for (value, expected) in [
+            (None, None),
+            (Some(""), None),
+            (Some("  "), None),
+            (Some("0"), None),
+            (Some("off"), None),
+            (Some("OFF"), None),
+            (Some("false"), None),
+            (Some("no such depth"), None),
+            (Some("-3"), None),
+            (Some("4"), Some(4)),
+            (Some(" 2 "), Some(2)),
+            (Some("1"), Some(1)),
+            (Some("1000000"), Some(64)),
+            (Some("on"), Some(4)),
+            (Some("TRUE"), Some(4)),
+            (Some("yes"), Some(4)),
+        ] {
+            assert_eq!(
+                parse_speculation(value),
+                expected,
+                "COLLIE_SPECULATION={value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_knob_does_not_change_the_outcome_or_the_stats() {
+        // The facade-level statement of the tentpole contract: the public
+        // entry point produces byte-identical outcomes and evaluator
+        // statistics with the knob on or off.
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        for strategy in [
+            SearchStrategy::Random,
+            SearchStrategy::SimulatedAnnealing,
+            SearchStrategy::Bayesian,
+        ] {
+            let config = SearchConfig {
+                strategy,
+                ..SearchConfig::collie(17)
+            }
+            .with_budget(SimDuration::from_secs(3600))
+            .with_memoization(true)
+            .with_speculation(None);
+            let mut serial_engine = WorkloadEngine::for_catalog(SubsystemId::F);
+            let serial = run_search_with_stats(&mut serial_engine, &space, &config);
+            let mut spec_engine = WorkloadEngine::for_catalog(SubsystemId::F);
+            let speculative = run_search_with_stats(
+                &mut spec_engine,
+                &space,
+                &config.clone().with_speculation(Some(3)),
+            );
+            assert_eq!(serial, speculative, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn speculation_knob_never_serializes_into_fixtures() {
+        // The knob is an execution detail; a recorded golden fixture must
+        // not change because the recording host had COLLIE_SPECULATION
+        // set, and deserialized configs must fall back to serial.
+        let config = SearchConfig::collie(1).with_speculation(Some(8));
+        let json = serde_json::to_string(&config).unwrap();
+        assert!(
+            !json.contains("speculation"),
+            "knob leaked into JSON: {json}"
+        );
+        let back: SearchConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.speculation, None);
     }
 
     #[test]

@@ -341,6 +341,112 @@ fn golden_fig7_bayesian_fabric_cells_are_pinned() {
     record_or_compare("golden_fig7_bo.json", &golden, true);
 }
 
+/// The same cells with an explicit execution mode: memoization pinned and
+/// a speculative lookahead selected (or `None` for the serial loop).
+fn with_execution(
+    cells: &[CampaignSpec],
+    memoize: bool,
+    speculation: Option<usize>,
+) -> Vec<CampaignSpec> {
+    cells
+        .iter()
+        .cloned()
+        .map(|cell| CampaignSpec {
+            config: cell
+                .config
+                .with_memoization(memoize)
+                .with_speculation(speculation),
+            ..cell
+        })
+        .collect()
+}
+
+/// Render a two-host grid to its canonical golden JSON.
+fn render_two_host(cells: &[CampaignSpec]) -> String {
+    serde_json::to_string_pretty(&run_two_host_grid(cells)).expect("golden cells serialize")
+}
+
+/// Render a fabric grid to its canonical golden JSON.
+fn render_fabric(cells: &[CampaignSpec]) -> String {
+    let outcomes = run_fabric_campaign_matrix(cells, 2);
+    let golden: Vec<GoldenCell> = cells
+        .iter()
+        .zip(&outcomes)
+        .map(|(cell, (outcome, _))| GoldenCell::from_fabric(outcome, cell.config.seed))
+        .collect();
+    serde_json::to_string_pretty(&golden).expect("golden cells serialize")
+}
+
+/// Byte-compare two rendered grids, reporting the first differing line.
+fn assert_same_stream(name: &str, oracle: &str, replay: &str) {
+    if oracle == replay {
+        return;
+    }
+    for (line_no, (want, got)) in oracle.lines().zip(replay.lines()).enumerate() {
+        if want != got {
+            panic!(
+                "{name}: speculative replay diverged from the serial oracle at line {}:\n  \
+                 serial:      {want}\n  speculative: {got}",
+                line_no + 1
+            );
+        }
+    }
+    panic!(
+        "{name}: speculative replay diverged from the serial oracle: line counts \
+         differ (serial {}, speculative {})",
+        oracle.lines().count(),
+        replay.lines().count()
+    );
+}
+
+#[test]
+fn golden_grids_replay_bit_identically_under_speculation() {
+    // The tentpole's differential statement over every committed fixture
+    // grid: the serial rendering is the oracle (the fixture tests above
+    // pin it against the recorded files), and replaying the same grid
+    // speculatively — shallow and deep lookahead, memo cache on and off —
+    // must reproduce it byte for byte. With the cache off a campaign
+    // cannot share measurements across threads, so speculation falls back
+    // to the serial loop; the leg pins that the knob is safe under the
+    // COLLIE_MEMOIZE=0 CI matrix too.
+    let two_host_grids = [
+        ("golden_fig4.json", legacy(fig4_cells())),
+        ("golden_fig5.json", legacy(fig5_cells())),
+        ("golden_fig4_kernel.json", fig4_cells()),
+        ("golden_fig5_kernel.json", fig5_cells()),
+    ];
+    for (name, cells) in two_host_grids {
+        let oracle = render_two_host(&with_execution(&cells, true, None));
+        for lookahead in [2usize, 8] {
+            for memoize in [true, false] {
+                let replay = render_two_host(&with_execution(&cells, memoize, Some(lookahead)));
+                assert_same_stream(
+                    &format!("{name} (lookahead {lookahead}, memoize {memoize})"),
+                    &oracle,
+                    &replay,
+                );
+            }
+        }
+    }
+    let fabric_grids = [
+        ("golden_fig7.json", fig7_cells()),
+        ("golden_fig7_bo.json", fig7_bo_cells()),
+    ];
+    for (name, cells) in fabric_grids {
+        let oracle = render_fabric(&with_execution(&cells, true, None));
+        for lookahead in [2usize, 8] {
+            for memoize in [true, false] {
+                let replay = render_fabric(&with_execution(&cells, memoize, Some(lookahead)));
+                assert_same_stream(
+                    &format!("{name} (lookahead {lookahead}, memoize {memoize})"),
+                    &oracle,
+                    &replay,
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn golden_grids_are_memoization_independent() {
     // The memo cache only skips flow-model recompute; outcomes must be

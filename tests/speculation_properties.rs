@@ -1,0 +1,118 @@
+//! Property-based tests for speculative campaign execution.
+//!
+//! The speculation contract (DESIGN.md §9) is not "usually equal": for any
+//! strategy, seed, lookahead depth, budget, and cache mode, a speculative
+//! campaign must commit exactly the serial stream. These properties sample
+//! that whole configuration space and assert bit-level equality of the
+//! public outcome (discoveries, experiments, MFS skips, elapsed time,
+//! trace) *and* of the evaluator's cache statistics — the statistics are
+//! the leak detector: a mis-speculated draw that touched the campaign's
+//! evaluator would show up as an extra hit or miss even if it never
+//! changed a discovery. (The measured-point log itself is crate-private;
+//! its equality is pinned by the kernel's unit tests.)
+//!
+//! Seeds come from the PROPTEST_SEED-pinned proptest driver, so a red CI
+//! run reproduces locally with the same one-liner.
+
+use collie::core::fabric::{run_fabric_search_with_stats, FabricEngine};
+use collie::core::search::run_search_with_stats;
+use collie::prelude::*;
+use proptest::prelude::*;
+
+const STRATEGIES: [SearchStrategy; 3] = [
+    SearchStrategy::Random,
+    SearchStrategy::SimulatedAnnealing,
+    SearchStrategy::Bayesian,
+];
+
+/// A short campaign configuration drawn from the property inputs. The
+/// budget stays in the tens of simulated minutes so a proptest case is a
+/// real campaign (discoveries, MFS extractions, restarts) without the
+/// ten-hour grids' runtime.
+fn config(
+    strategy_pick: usize,
+    seed: u64,
+    budget_minutes: u64,
+    memoize: bool,
+    speculation: Option<usize>,
+) -> SearchConfig {
+    SearchConfig {
+        strategy: STRATEGIES[strategy_pick % STRATEGIES.len()],
+        ..SearchConfig::collie(seed)
+    }
+    .with_budget(SimDuration::from_secs(60 * budget_minutes))
+    .with_memoization(memoize)
+    .with_speculation(speculation)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    #[test]
+    fn speculative_two_host_campaigns_commit_the_serial_stream(
+        seed in any::<u64>(),
+        strategy_pick in 0usize..3,
+        lookahead in 1usize..9,
+        budget_minutes in 10u64..40,
+        memoize in any::<bool>(),
+    ) {
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        let serial_config = config(strategy_pick, seed, budget_minutes, memoize, None);
+        let mut serial_engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let serial = run_search_with_stats(&mut serial_engine, &space, &serial_config);
+        prop_assert!(
+            serial.0.experiments > 0,
+            "vacuous case: the serial campaign ran no experiments"
+        );
+
+        let spec_config = serial_config.clone().with_speculation(Some(lookahead));
+        let mut spec_engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let speculative = run_search_with_stats(&mut spec_engine, &space, &spec_config);
+
+        prop_assert!(
+            serial.0 == speculative.0,
+            "outcome diverged (strategy {:?}, lookahead {}, memoize {})",
+            serial_config.strategy, lookahead, memoize
+        );
+        prop_assert!(
+            serial.1 == speculative.1,
+            "mis-speculated work leaked into the evaluator statistics \
+             (strategy {:?}, lookahead {}, memoize {}): serial {:?}, speculative {:?}",
+            serial_config.strategy, lookahead, memoize, serial.1, speculative.1
+        );
+    }
+
+    #[test]
+    fn speculative_fabric_campaigns_commit_the_serial_stream(
+        seed in any::<u64>(),
+        strategy_pick in 0usize..3,
+        lookahead in 1usize..9,
+        budget_minutes in 10u64..40,
+        memoize in any::<bool>(),
+    ) {
+        let space = FabricSpace::for_host(&SubsystemId::F.host());
+        let serial_config = config(strategy_pick, seed, budget_minutes, memoize, None);
+        let mut serial_engine = FabricEngine::for_catalog(SubsystemId::F);
+        let serial = run_fabric_search_with_stats(&mut serial_engine, &space, &serial_config);
+        prop_assert!(
+            serial.0.experiments > 0,
+            "vacuous case: the serial campaign ran no experiments"
+        );
+
+        let spec_config = serial_config.clone().with_speculation(Some(lookahead));
+        let mut spec_engine = FabricEngine::for_catalog(SubsystemId::F);
+        let speculative = run_fabric_search_with_stats(&mut spec_engine, &space, &spec_config);
+
+        prop_assert!(
+            serial.0 == speculative.0,
+            "outcome diverged (strategy {:?}, lookahead {}, memoize {})",
+            serial_config.strategy, lookahead, memoize
+        );
+        prop_assert!(
+            serial.1 == speculative.1,
+            "mis-speculated work leaked into the evaluator statistics \
+             (strategy {:?}, lookahead {}, memoize {}): serial {:?}, speculative {:?}",
+            serial_config.strategy, lookahead, memoize, serial.1, speculative.1
+        );
+    }
+}

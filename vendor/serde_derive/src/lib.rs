@@ -11,13 +11,16 @@
 //! * enums → externally tagged, like serde's default representation
 //!   (`"Variant"` for unit variants, `{"Variant": …}` for data variants).
 //!
-//! Generic types and `#[serde(...)]` attributes are intentionally not
-//! supported; the derive panics with a clear message if it meets one.
+//! Generic types are intentionally not supported, and the only
+//! `#[serde(...)]` attribute implemented is `#[serde(skip)]` on a named
+//! field (the field is omitted from serialization and rebuilt with
+//! `Default::default()` on deserialization, like upstream serde). The
+//! derive panics with a clear message if it meets anything else.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derive `serde::Serialize` (shim): generates a `to_value` impl.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_input(input);
     gen_serialize(&item)
@@ -26,7 +29,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize` (shim): generates a `from_value` impl.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_input(input);
     gen_deserialize(&item)
@@ -49,15 +52,22 @@ enum Kind {
 }
 
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     Tuple(usize),
     Unit,
+}
+
+struct NamedField {
+    name: String,
+    /// `#[serde(skip)]`: absent from the serialized form, rebuilt with
+    /// `Default::default()` on deserialization.
+    skip: bool,
 }
 
 fn parse_input(input: TokenStream) -> Input {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs_and_vis(&tokens, &mut i);
+    let _ = skip_attrs_and_vis(&tokens, &mut i);
     let keyword = expect_ident(&tokens, &mut i, "`struct` or `enum`");
     let name = expect_ident(&tokens, &mut i, "type name");
     if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
@@ -84,23 +94,31 @@ fn parse_input(input: TokenStream) -> Input {
     Input { name, kind }
 }
 
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// Advance past attributes and visibility, reporting whether a
+/// `#[serde(skip)]` was among the attributes. Any other `#[serde(...)]`
+/// attribute carries semantics this shim does not implement — fail the
+/// build loudly rather than let the generated impl silently ignore it.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 // `#[...]`: the attribute body is the next (bracket) group.
-                // `#[serde(...)]` attributes carry semantics this shim does
-                // not implement — fail the build loudly rather than let the
-                // generated impl silently ignore them.
                 if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
                     if matches!(
-                        g.stream().into_iter().next(),
+                        inner.first(),
                         Some(TokenTree::Ident(id)) if id.to_string() == "serde"
                     ) {
-                        panic!(
-                            "serde shim derive: #[serde(...)] attributes are not \
-                             supported by the offline shim (vendor/serde_derive)"
-                        );
+                        if is_serde_skip(&inner) {
+                            skip = true;
+                        } else {
+                            panic!(
+                                "serde shim derive: the only #[serde(...)] attribute \
+                                 supported by the offline shim is #[serde(skip)] on a \
+                                 named field (vendor/serde_derive)"
+                            );
+                        }
                     }
                 }
                 *i += 2;
@@ -116,6 +134,22 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
             _ => break,
         }
     }
+    skip
+}
+
+/// True iff an attribute body (the tokens inside `#[...]`) is exactly
+/// `serde(skip)`.
+fn is_serde_skip(inner: &[TokenTree]) -> bool {
+    if inner.len() != 2 {
+        return false;
+    }
+    match &inner[1] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            let args: Vec<TokenTree> = g.stream().into_iter().collect();
+            args.len() == 1 && matches!(&args[0], TokenTree::Ident(id) if id.to_string() == "skip")
+        }
+        _ => false,
+    }
 }
 
 fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
@@ -128,14 +162,15 @@ fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
     }
 }
 
-/// Parse `name: Type, ...` out of a brace group, returning the field names.
-/// Commas inside angle brackets (`BTreeMap<K, V>`) are not separators.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parse `name: Type, ...` out of a brace group, returning the field names
+/// and their `#[serde(skip)]` markers. Commas inside angle brackets
+/// (`BTreeMap<K, V>`) are not separators.
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let skip = skip_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -147,7 +182,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
         }
         skip_type_until_comma(&tokens, &mut i);
-        fields.push(name);
+        fields.push(NamedField { name, skip });
     }
     fields
 }
@@ -209,7 +244,7 @@ fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
     let mut i = 0;
     let mut variants = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let _ = skip_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -242,7 +277,9 @@ fn gen_serialize(item: &Input) -> String {
         Kind::Struct(Fields::Named(fields)) => {
             let entries = fields
                 .iter()
+                .filter(|f| !f.skip)
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f}))"
@@ -289,10 +326,24 @@ fn gen_serialize(item: &Input) -> String {
                         )
                     }
                     Fields::Named(fnames) => {
-                        let binds = fnames.join(", ");
-                        let entries = fnames
+                        // Skipped fields still need a pattern binding;
+                        // `_` keeps the generated match arm warning-free.
+                        let binds = fnames
                             .iter()
                             .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let entries = fnames
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), \
                                      ::serde::Serialize::to_value({f}))"
@@ -324,7 +375,14 @@ fn gen_deserialize(item: &Input) -> String {
         Kind::Struct(Fields::Named(fields)) => {
             let inits = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::get_field(__fields, \"{f}\", \"{name}\")?,"))
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),", f.name)
+                    } else {
+                        let f = &f.name;
+                        format!("{f}: ::serde::get_field(__fields, \"{f}\", \"{name}\")?,")
+                    }
+                })
                 .collect::<Vec<_>>()
                 .join("\n            ");
             format!(
@@ -381,10 +439,15 @@ fn gen_deserialize(item: &Input) -> String {
                         let inits = fnames
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "{f}: ::serde::get_field(__vfields, \"{f}\", \
-                                     \"{name}::{vname}\")?,"
-                                )
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default(),", f.name)
+                                } else {
+                                    let f = &f.name;
+                                    format!(
+                                        "{f}: ::serde::get_field(__vfields, \"{f}\", \
+                                         \"{name}::{vname}\")?,"
+                                    )
+                                }
                             })
                             .collect::<Vec<_>>()
                             .join(" ");
