@@ -1,0 +1,291 @@
+//! The machine-readable perf harness: runs the fig4/fig5/fig7 campaign
+//! grids plus the `eval_cache` and `workload_engine` micro-benches and
+//! writes one `BENCH_<name>.json` per bench — throughput (evals/sec), avg
+//! and p99 compute latency, and cache computed/served counters per grid
+//! cell — so every PR has a perf trajectory to diff against.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [--smoke] [--out DIR]     # run the benches, write BENCH_*.json
+//! bench --validate FILE...       # schema-check previously emitted files
+//! ```
+//!
+//! `--smoke` is the CI reduced-budget mode (shorter simulated budgets, one
+//! seed per grid row); the emitted schema is identical. Every emitted file
+//! is self-validated with the same `validate_bench_report` the CI
+//! `bench-smoke` job runs.
+
+use collie_bench::{
+    bench_report, default_workers, run_campaign_matrix_report, run_fabric_campaign_matrix_report,
+    validate_bench_report, BenchCell, BenchReport, CampaignSpec, MatrixOptions, DEFAULT_SEEDS,
+};
+use collie_core::engine::WorkloadEngine;
+use collie_core::eval::{CacheTotals, EvalProfile, EvalStats, SharedUse};
+use collie_core::search::{SearchConfig, SignalMode};
+use collie_core::space::SearchPoint;
+use collie_rnic::subsystems::SubsystemId;
+use collie_rnic::workload::{Opcode, Transport};
+use collie_sim::time::SimDuration;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(position) = args.iter().position(|arg| arg == "--validate") {
+        std::process::exit(validate_files(&args[position + 1..]));
+    }
+    let smoke = args.iter().any(|arg| arg == "--smoke");
+    let out_dir = args
+        .iter()
+        .position(|arg| arg == "--out")
+        .and_then(|position| args.get(position + 1))
+        .map(String::as_str)
+        .unwrap_or(".");
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let seeds: &[u64] = if smoke {
+        &DEFAULT_SEEDS[..1]
+    } else {
+        &DEFAULT_SEEDS[..]
+    };
+    let subsystem = SubsystemId::F;
+    let workers = default_workers();
+    let options = MatrixOptions::new(workers);
+
+    let mut failures = 0;
+    let mut emit = |report: &BenchReport| {
+        let path = Path::new(out_dir).join(BenchReport::file_name(&report.name));
+        if let Err(violation) = validate_bench_report(report) {
+            eprintln!("bench {}: INVALID: {violation}", report.name);
+            failures += 1;
+        }
+        let json = serde_json::to_string_pretty(report).unwrap_or_else(|_| "{}".to_string());
+        if let Err(error) = std::fs::write(&path, json + "\n") {
+            eprintln!(
+                "bench {}: cannot write {}: {error}",
+                report.name,
+                path.display()
+            );
+            failures += 1;
+            return;
+        }
+        let evals: u64 = report.cells.iter().map(|cell| cell.evals).sum();
+        let wall: f64 = report.cells.iter().map(|cell| cell.wall_secs).sum();
+        eprintln!(
+            "bench {}: {} cells, {evals} evals, {wall:.2} s cell wall-clock, \
+             cache totals {:?} -> {}",
+            report.name,
+            report.cells.len(),
+            report.totals,
+            path.display()
+        );
+    };
+
+    // The two-host strategy grid (fig4's matrix).
+    let grid_budget = if smoke {
+        SimDuration::from_secs(900)
+    } else {
+        SimDuration::from_secs(10 * 3600)
+    };
+    let fig4_configs = [
+        SearchConfig::random(0).with_budget(grid_budget),
+        SearchConfig::bayesian(0).with_budget(grid_budget),
+        SearchConfig::collie(0).with_budget(grid_budget),
+    ];
+    let cells = grid(subsystem, &fig4_configs, seeds);
+    emit(&bench_report(
+        "fig4",
+        mode,
+        &cells,
+        &run_campaign_matrix_report(&cells, &options),
+    ));
+
+    // The ablation grid (fig5's matrix).
+    let fig5_configs = [
+        SearchConfig::collie(0)
+            .with_mfs(false)
+            .with_signal(SignalMode::Performance)
+            .with_budget(grid_budget),
+        SearchConfig::collie(0)
+            .with_mfs(false)
+            .with_signal(SignalMode::Diagnostic)
+            .with_budget(grid_budget),
+        SearchConfig::collie(0)
+            .with_signal(SignalMode::Performance)
+            .with_budget(grid_budget),
+        SearchConfig::collie(0)
+            .with_signal(SignalMode::Diagnostic)
+            .with_budget(grid_budget),
+    ];
+    let cells = grid(subsystem, &fig5_configs, seeds);
+    emit(&bench_report(
+        "fig5",
+        mode,
+        &cells,
+        &run_campaign_matrix_report(&cells, &options),
+    ));
+
+    // The fabric strategy grid (fig7's matrix).
+    let fabric_budget = if smoke {
+        SimDuration::from_secs(1800)
+    } else {
+        SimDuration::from_secs(10 * 3600)
+    };
+    let fig7_configs = [
+        SearchConfig::random(0).with_budget(fabric_budget),
+        SearchConfig::bayesian(0).with_budget(fabric_budget),
+        SearchConfig::collie(0).with_budget(fabric_budget),
+    ];
+    let cells = grid(subsystem, &fig7_configs, seeds);
+    emit(&bench_report(
+        "fig7",
+        mode,
+        &cells,
+        &run_fabric_campaign_matrix_report(&cells, &options),
+    ));
+
+    emit(&eval_cache_bench(subsystem, mode, grid_budget));
+    emit(&workload_engine_bench(
+        subsystem,
+        mode,
+        if smoke { 2_000 } else { 20_000 },
+    ));
+
+    if failures > 0 {
+        eprintln!("bench: {failures} report(s) failed");
+        std::process::exit(1);
+    }
+}
+
+/// Every `configs × seeds` cell, in grid order.
+fn grid(subsystem: SubsystemId, configs: &[SearchConfig], seeds: &[u64]) -> Vec<CampaignSpec> {
+    configs
+        .iter()
+        .flat_map(|config| {
+            seeds
+                .iter()
+                .map(|&seed| CampaignSpec::seeded(subsystem, config, seed))
+        })
+        .collect()
+}
+
+/// The memoization bench: the same Collie campaign with the memo cache on
+/// and off (no shared matrix cache, so the comparison is the local cache
+/// alone — the `eval_cache` Criterion bench's headline, as a tracked
+/// number).
+fn eval_cache_bench(subsystem: SubsystemId, mode: &str, budget: SimDuration) -> BenchReport {
+    let memoized = SearchConfig::collie(0).with_budget(budget);
+    let uncached = SearchConfig {
+        memoize: false,
+        ..memoized.clone()
+    };
+    let cells = [
+        CampaignSpec::seeded(subsystem, &memoized, DEFAULT_SEEDS[0]),
+        CampaignSpec::seeded(subsystem, &uncached, DEFAULT_SEEDS[0]),
+    ];
+    let report = run_campaign_matrix_report(
+        &cells,
+        &MatrixOptions::new(default_workers()).without_shared_cache(),
+    );
+    let labels = ["memoized", "uncached"];
+    BenchReport {
+        name: "eval_cache".to_string(),
+        mode: mode.to_string(),
+        cells: labels
+            .iter()
+            .zip(&report.cells)
+            .map(|(label, cell)| {
+                BenchCell::from_profile(
+                    label,
+                    DEFAULT_SEEDS[0],
+                    cell.wall_secs,
+                    &EvalProfile {
+                        stats: cell.stats,
+                        shared: cell.shared,
+                        compute_micros: cell.compute_micros.clone(),
+                    },
+                )
+            })
+            .collect(),
+        totals: report.cache,
+    }
+}
+
+/// The raw flow-model bench: per-call latency of `WorkloadEngine::measure`
+/// on a benign and an anomalous workload, no cache anywhere.
+fn workload_engine_bench(subsystem: SubsystemId, mode: &str, iterations: usize) -> BenchReport {
+    let anomalous = {
+        let mut point = SearchPoint::benign();
+        point.transport = Transport::Ud;
+        point.opcode = Opcode::Send;
+        point.wqe_batch = 64;
+        point.recv_queue_depth = 256;
+        point.mtu = 2048;
+        point.messages = vec![2048];
+        point
+    };
+    let cells = [("benign", SearchPoint::benign()), ("anomalous", anomalous)]
+        .iter()
+        .map(|(label, point)| {
+            let mut engine = WorkloadEngine::for_catalog(subsystem);
+            let mut micros = Vec::with_capacity(iterations);
+            let started = Instant::now();
+            for _ in 0..iterations {
+                let call = Instant::now();
+                let _ = engine.measure(point);
+                micros.push(call.elapsed().as_micros() as u64);
+            }
+            BenchCell::from_profile(
+                label,
+                0,
+                started.elapsed().as_secs_f64(),
+                &EvalProfile {
+                    stats: EvalStats {
+                        hits: 0,
+                        misses: iterations as u64,
+                    },
+                    shared: SharedUse::default(),
+                    compute_micros: micros,
+                },
+            )
+        })
+        .collect();
+    BenchReport {
+        name: "workload_engine".to_string(),
+        mode: mode.to_string(),
+        cells,
+        totals: CacheTotals::default(),
+    }
+}
+
+/// `--validate FILE...`: parse and schema-check emitted reports; the CI
+/// `bench-smoke` job's gate. Returns the process exit code.
+fn validate_files(files: &[String]) -> i32 {
+    if files.is_empty() {
+        eprintln!("bench --validate: no files given");
+        return 1;
+    }
+    let mut failures = 0;
+    for file in files {
+        let verdict = std::fs::read_to_string(file)
+            .map_err(|error| format!("cannot read: {error}"))
+            .and_then(|json| {
+                serde_json::from_str::<BenchReport>(&json)
+                    .map_err(|error| format!("cannot parse: {error}"))
+            })
+            .and_then(|report| validate_bench_report(&report));
+        match verdict {
+            Ok(()) => eprintln!("bench --validate: {file}: OK"),
+            Err(violation) => {
+                eprintln!("bench --validate: {file}: INVALID: {violation}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
+}

@@ -10,7 +10,8 @@
 //! All twelve campaigns (4 variants × 3 seeds) run as one parallel matrix.
 
 use collie_bench::{
-    default_workers, fmt_minutes, run_campaign_matrix, text_table, CampaignSpec, DEFAULT_SEEDS,
+    bench_report, default_workers, fmt_minutes, run_campaign_matrix_report, text_table,
+    CampaignSpec, MatrixOptions, DEFAULT_SEEDS,
 };
 use collie_core::catalog::KnownAnomaly;
 use collie_core::report::{time_to_find_rows, to_json};
@@ -41,10 +42,14 @@ fn main() {
         })
         .collect();
     let started = Instant::now();
-    let matrix = run_campaign_matrix(&cells, default_workers());
+    let report = run_campaign_matrix_report(&cells, &MatrixOptions::new(default_workers()));
     let wall = started.elapsed();
+    let bench = bench_report("fig5", "full", &cells, &report);
 
-    let mut matrix = matrix.into_iter();
+    let mut matrix = report
+        .cells
+        .into_iter()
+        .map(|cell| (cell.outcome, cell.stats));
     let mut all_rows = Vec::new();
     let mut table_rows = Vec::new();
     for config in &configs {
@@ -110,4 +115,12 @@ fn main() {
         )
     );
     println!("JSON:\n{}", to_json(&all_rows));
+    // --json: the machine-readable per-cell perf block (same schema as the
+    // bench bin's BENCH_fig5.json): cache hit-rate and wall-clock per cell.
+    if std::env::args().any(|arg| arg == "--json") {
+        println!(
+            "BENCH JSON:\n{}",
+            serde_json::to_string_pretty(&bench).unwrap_or_else(|_| "{}".to_string())
+        );
+    }
 }

@@ -9,8 +9,8 @@
 //! worker pool.
 
 use collie_bench::{
-    default_workers, fmt_minutes, run_fabric_campaign_matrix, text_table, CampaignSpec,
-    DEFAULT_SEEDS,
+    bench_report, default_workers, fmt_minutes, run_fabric_campaign_matrix_report, text_table,
+    CampaignSpec, MatrixOptions, DEFAULT_SEEDS,
 };
 use collie_core::report::{to_json, FabricGridRow};
 use collie_core::search::SearchConfig;
@@ -34,8 +34,14 @@ fn main() {
         })
         .collect();
     let started = Instant::now();
-    let matrix = run_fabric_campaign_matrix(&cells, default_workers());
+    let report = run_fabric_campaign_matrix_report(&cells, &MatrixOptions::new(default_workers()));
     let wall = started.elapsed();
+    let bench = bench_report("fig7", "full", &cells, &report);
+    let matrix: Vec<_> = report
+        .cells
+        .into_iter()
+        .map(|cell| (cell.outcome, cell.stats))
+        .collect();
 
     let mut rows = Vec::new();
     let mut table_rows = Vec::new();
@@ -88,4 +94,12 @@ fn main() {
         )
     );
     println!("JSON:\n{}", to_json(&rows));
+    // --json: the machine-readable per-cell perf block (same schema as the
+    // bench bin's BENCH_fig7.json): cache hit-rate and wall-clock per cell.
+    if std::env::args().any(|arg| arg == "--json") {
+        println!(
+            "BENCH JSON:\n{}",
+            serde_json::to_string_pretty(&bench).unwrap_or_else(|_| "{}".to_string())
+        );
+    }
 }

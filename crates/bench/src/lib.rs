@@ -12,14 +12,19 @@
 //! seed) grid out across a bounded scoped-thread pool
 //! ([`run_campaign_matrix`]) instead of sweeping it serially.
 
+pub mod report;
+
+pub use report::{latency_summary, validate_bench_report, BenchCache, BenchCell, BenchReport};
+
 use collie_core::engine::WorkloadEngine;
-use collie_core::eval::EvalStats;
-use collie_core::fabric::{run_fabric_search_with_stats, FabricEngine, FabricOutcome};
-use collie_core::search::{run_search_with_stats, SearchConfig, SearchOutcome};
+use collie_core::eval::{CacheTotals, EvalContext, EvalStats, SharedUse};
+use collie_core::fabric::{run_fabric_search_in_context, FabricEngine, FabricOutcome};
+use collie_core::search::{run_search_in_context, SearchConfig, SearchOutcome};
 use collie_core::space::{FabricSpace, SearchSpace};
 use collie_rnic::subsystems::SubsystemId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Default seeds used when repeating a campaign for mean/std error bars.
 /// (The paper repeats each search and reports the standard deviation; three
@@ -52,20 +57,34 @@ impl CampaignSpec {
 
 /// The worker-pool width used when the caller does not pick one: the
 /// `COLLIE_WORKERS` environment variable when set (clamped to at least 1),
-/// otherwise the machine's parallelism, bounded so a huge host does not
-/// spawn more campaign threads than the matrix can feed.
-///
-/// The override matters once campaigns speculate internally
-/// (`COLLIE_SPECULATION`): each campaign then spawns its own lookahead
-/// workers, and an operator may want fewer matrix threads so the two pools
-/// do not oversubscribe the machine.
+/// otherwise the machine's parallelism run through [`budgeted_workers`] so
+/// the matrix pool and any per-campaign speculation pools share one global
+/// budget instead of multiplying against each other.
 pub fn default_workers() -> usize {
     match parse_workers(std::env::var("COLLIE_WORKERS").ok().as_deref()) {
         Some(workers) => workers,
-        None => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .clamp(2, 16),
+        None => {
+            let available = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            budgeted_workers(available, SearchConfig::default_speculation())
+        }
+    }
+}
+
+/// One global worker budget for the two nested thread pools: the matrix
+/// fans cells out across campaign threads, and with `COLLIE_SPECULATION`
+/// set each campaign additionally spawns `lookahead` speculation workers —
+/// so an unbudgeted matrix on a 16-core host with lookahead 4 would run
+/// 16 × (1 + 4) = 80 threads. Divide the machine by each cell's thread
+/// footprint (`1 + lookahead`) so total threads stay near `available`;
+/// without speculation this is the historical `clamp(2, 16)` width.
+/// `COLLIE_WORKERS` bypasses the budget entirely (the operator knows
+/// better).
+pub fn budgeted_workers(available: usize, speculation: Option<usize>) -> usize {
+    match speculation {
+        Some(lookahead) => (available / (1 + lookahead.max(1))).clamp(1, 16),
+        None => available.clamp(2, 16),
     }
 }
 
@@ -116,17 +135,161 @@ where
         .collect()
 }
 
+/// Default capacity of the matrix-scoped shared cache: generous enough
+/// that the standard grids never evict (a full fig4 grid computes a few
+/// thousand distinct points), small enough that a fleet-size matrix cannot
+/// grow the cache without bound.
+pub const DEFAULT_MATRIX_CACHE_CAPACITY: usize = 65_536;
+
+/// How a campaign matrix runs: pool width and shared-cache policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixOptions {
+    /// Worker-pool width (clamped like [`parallel_map`]).
+    pub workers: usize,
+    /// Whether cells share one matrix-scoped [`EvalContext`] (per-subsystem
+    /// caches, see [`EvalContext::workload_cache`]). Sharing never changes
+    /// outcomes or [`EvalStats`] — commits go through each cell's local
+    /// cache — so it defaults to on.
+    pub share_cache: bool,
+    /// Capacity of each shared per-subsystem cache; `None` is unbounded.
+    pub cache_capacity: Option<usize>,
+}
+
+impl MatrixOptions {
+    /// Sharing on, default capacity bound.
+    pub fn new(workers: usize) -> MatrixOptions {
+        MatrixOptions {
+            workers,
+            share_cache: true,
+            cache_capacity: Some(DEFAULT_MATRIX_CACHE_CAPACITY),
+        }
+    }
+
+    /// Disable cross-cell sharing (the per-cell baseline the sharing proof
+    /// test compares against).
+    pub fn without_shared_cache(mut self) -> MatrixOptions {
+        self.share_cache = false;
+        self
+    }
+
+    /// Override the shared-cache capacity (`None` removes the bound).
+    pub fn with_cache_capacity(mut self, capacity: Option<usize>) -> MatrixOptions {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// One finished matrix cell: the campaign outcome plus everything the perf
+/// harness reports about how it ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCell<O> {
+    /// The campaign outcome (independent of cache mode and pool width).
+    pub outcome: O,
+    /// Local evaluation-cache hit/miss counters (bit-identical in every
+    /// cache mode).
+    pub stats: EvalStats,
+    /// Shared-cache interaction: misses this cell computed itself vs.
+    /// misses served by a sibling's publication (all zero when sharing is
+    /// off).
+    pub shared: SharedUse,
+    /// Real wall-clock the cell took, in seconds.
+    pub wall_secs: f64,
+    /// One wall-clock latency (µs) per engine compute on the cell's commit
+    /// thread.
+    pub compute_micros: Vec<u64>,
+}
+
+/// A finished campaign matrix: the cells in matrix order plus the shared
+/// cache's matrix-level totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixReport<O> {
+    /// One entry per input cell, in input order.
+    pub cells: Vec<MatrixCell<O>>,
+    /// Matrix-level shared-cache totals (zero when sharing was off).
+    pub cache: CacheTotals,
+}
+
+fn matrix_context(options: &MatrixOptions) -> Option<EvalContext> {
+    options.share_cache.then(|| match options.cache_capacity {
+        Some(capacity) => EvalContext::bounded(capacity),
+        None => EvalContext::new(),
+    })
+}
+
+/// Run every cell of a campaign matrix with one matrix-scoped shared cache
+/// (per [`MatrixOptions`]), reporting per-cell perf alongside the
+/// outcomes. The cache refactor's ownership root: the [`EvalContext`] is
+/// created here, once, and every cell's evaluator reads through it while
+/// committing via its own local cache — outcomes and stats are therefore
+/// byte-identical to [`run_campaign_matrix`] with sharing off.
+pub fn run_campaign_matrix_report(
+    cells: &[CampaignSpec],
+    options: &MatrixOptions,
+) -> MatrixReport<SearchOutcome> {
+    let context = matrix_context(options);
+    let cells = parallel_map(cells, options.workers, |cell| {
+        let mut engine = WorkloadEngine::for_catalog(cell.subsystem);
+        let space = SearchSpace::for_host(&cell.subsystem.host());
+        let shared = context
+            .as_ref()
+            .map(|ctx| ctx.workload_cache(cell.subsystem));
+        let started = Instant::now();
+        let (outcome, profile) = run_search_in_context(&mut engine, &space, &cell.config, shared);
+        MatrixCell {
+            outcome,
+            stats: profile.stats,
+            shared: profile.shared,
+            wall_secs: started.elapsed().as_secs_f64(),
+            compute_micros: profile.compute_micros,
+        }
+    });
+    MatrixReport {
+        cells,
+        cache: context.map(|ctx| ctx.totals()).unwrap_or_default(),
+    }
+}
+
+/// The fabric counterpart of [`run_campaign_matrix_report`]: same
+/// ownership shape over [`EvalContext::fabric_cache`].
+pub fn run_fabric_campaign_matrix_report(
+    cells: &[CampaignSpec],
+    options: &MatrixOptions,
+) -> MatrixReport<FabricOutcome> {
+    let context = matrix_context(options);
+    let cells = parallel_map(cells, options.workers, |cell| {
+        let mut engine = FabricEngine::for_catalog(cell.subsystem);
+        let space = FabricSpace::for_host(&cell.subsystem.host());
+        let shared = context.as_ref().map(|ctx| ctx.fabric_cache(cell.subsystem));
+        let started = Instant::now();
+        let (outcome, profile) =
+            run_fabric_search_in_context(&mut engine, &space, &cell.config, shared);
+        MatrixCell {
+            outcome,
+            stats: profile.stats,
+            shared: profile.shared,
+            wall_secs: started.elapsed().as_secs_f64(),
+            compute_micros: profile.compute_micros,
+        }
+    });
+    MatrixReport {
+        cells,
+        cache: context.map(|ctx| ctx.totals()).unwrap_or_default(),
+    }
+}
+
 /// Run every cell of a campaign matrix on a bounded worker pool, returning
-/// `(outcome, eval-cache stats)` per cell in matrix order.
+/// `(outcome, eval-cache stats)` per cell in matrix order. Cells share the
+/// default matrix-scoped cache (see [`MatrixOptions::new`]); the stats and
+/// outcomes are bit-identical either way.
 pub fn run_campaign_matrix(
     cells: &[CampaignSpec],
     workers: usize,
 ) -> Vec<(SearchOutcome, EvalStats)> {
-    parallel_map(cells, workers, |cell| {
-        let mut engine = WorkloadEngine::for_catalog(cell.subsystem);
-        let space = SearchSpace::for_host(&cell.subsystem.host());
-        run_search_with_stats(&mut engine, &space, &cell.config)
-    })
+    run_campaign_matrix_report(cells, &MatrixOptions::new(workers))
+        .cells
+        .into_iter()
+        .map(|cell| (cell.outcome, cell.stats))
+        .collect()
 }
 
 /// Run every cell of a *fabric* campaign matrix on a bounded worker pool,
@@ -138,11 +301,44 @@ pub fn run_fabric_campaign_matrix(
     cells: &[CampaignSpec],
     workers: usize,
 ) -> Vec<(FabricOutcome, EvalStats)> {
-    parallel_map(cells, workers, |cell| {
-        let mut engine = FabricEngine::for_catalog(cell.subsystem);
-        let space = FabricSpace::for_host(&cell.subsystem.host());
-        run_fabric_search_with_stats(&mut engine, &space, &cell.config)
-    })
+    run_fabric_campaign_matrix_report(cells, &MatrixOptions::new(workers))
+        .cells
+        .into_iter()
+        .map(|cell| (cell.outcome, cell.stats))
+        .collect()
+}
+
+/// Assemble the machine-readable [`BenchReport`] for a finished matrix:
+/// one [`BenchCell`] per grid cell, labelled from the cell's configuration,
+/// plus the matrix cache totals. The schema every `BENCH_<name>.json` file
+/// and every fig bin's `--json` block share.
+pub fn bench_report<O>(
+    name: &str,
+    mode: &str,
+    cells: &[CampaignSpec],
+    report: &MatrixReport<O>,
+) -> BenchReport {
+    BenchReport {
+        name: name.to_string(),
+        mode: mode.to_string(),
+        cells: cells
+            .iter()
+            .zip(&report.cells)
+            .map(|(spec, cell)| {
+                BenchCell::from_profile(
+                    &spec.config.label(),
+                    spec.config.seed,
+                    cell.wall_secs,
+                    &collie_core::eval::EvalProfile {
+                        stats: cell.stats,
+                        shared: cell.shared,
+                        compute_micros: cell.compute_micros.clone(),
+                    },
+                )
+            })
+            .collect(),
+        totals: report.cache,
+    }
 }
 
 /// Run the same campaign configuration once per seed on a fresh copy of the
@@ -302,6 +498,74 @@ mod tests {
     fn fmt_minutes_handles_missing() {
         assert_eq!(fmt_minutes(Some(12.34)), "12.3");
         assert_eq!(fmt_minutes(None), "not found");
+    }
+
+    #[test]
+    fn worker_budget_accounts_for_speculation_oversubscription() {
+        // Serial matrices keep the historical width: the machine's
+        // parallelism clamped to [2, 16].
+        for (available, expected) in [(1, 2), (2, 2), (8, 8), (16, 16), (64, 16)] {
+            assert_eq!(budgeted_workers(available, None), expected, "{available}");
+        }
+        // With COLLIE_SPECULATION each cell runs 1 + lookahead threads, so
+        // the matrix width divides the machine by that footprint instead of
+        // multiplying against it: 16 cores at lookahead 4 budget 3 cells
+        // (15 threads), not 16 cells (80 threads).
+        for (available, lookahead, expected) in [
+            (16, 4, 3),
+            (16, 1, 8),
+            (8, 8, 1),
+            (2, 4, 1),   // never an empty pool
+            (64, 0, 16), // degenerate lookahead counts as 1; ceiling holds
+            (96, 1, 16), // the historical ceiling still applies
+        ] {
+            assert_eq!(
+                budgeted_workers(available, Some(lookahead)),
+                expected,
+                "available={available} lookahead={lookahead}"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_report_shares_the_cache_without_changing_outcomes() {
+        // The tentpole contract at the harness level: the same two-cell
+        // grid with sharing on and off produces identical outcomes and
+        // local stats; only the shared counters differ. (The cross-cell
+        // sharing *gain* is proven in tests/eval_cache.rs.)
+        // Execution mode pinned: memoization on (sharing rides on the local
+        // cache; COLLIE_MEMOIZE=0 leg), speculation off (lookahead workers
+        // would give even the no-sharing baseline a campaign-private shared
+        // cache; COLLIE_SPECULATION=4 leg).
+        let budget = SimDuration::from_secs(900);
+        let config = SearchConfig::random(0)
+            .with_budget(budget)
+            .with_memoization(true)
+            .with_speculation(None);
+        let cells = [
+            CampaignSpec::seeded(SubsystemId::F, &config, 5),
+            CampaignSpec::seeded(SubsystemId::F, &config, 5),
+        ];
+        let shared = run_campaign_matrix_report(&cells, &MatrixOptions::new(2));
+        let solo =
+            run_campaign_matrix_report(&cells, &MatrixOptions::new(2).without_shared_cache());
+        assert_eq!(solo.cache, collie_core::eval::CacheTotals::default());
+        for (a, b) in shared.cells.iter().zip(&solo.cells) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(b.shared, SharedUse::default());
+            assert!(a.wall_secs >= 0.0 && b.wall_secs >= 0.0);
+        }
+        // Identical seeds ask for identical points: the shared totals cover
+        // every miss. (>= rather than ==: under COLLIE_SPECULATION the
+        // lookahead workers also publish into the same matrix cache.)
+        let asks: u64 = shared
+            .cells
+            .iter()
+            .map(|c| c.shared.computed + c.shared.served)
+            .sum();
+        assert!(shared.cache.computed + shared.cache.served >= asks);
+        assert!(shared.cache.served > 0, "twin cells must share computes");
     }
 
     #[test]

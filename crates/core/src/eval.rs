@@ -20,13 +20,17 @@
 
 use crate::engine::WorkloadEngine;
 use crate::monitor::{AnomalyMonitor, AnomalyVerdict};
-use crate::space::SearchPoint;
+use crate::space::{FabricPoint, SearchPoint};
+use collie_rnic::fabric::FabricMeasurement;
 use collie_rnic::subsystem::{Measurement, Subsystem};
-use std::collections::HashMap;
+use collie_rnic::subsystems::SubsystemId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
+use std::time::Instant;
 
 /// Cache effectiveness counters of one [`Evaluator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,7 +82,8 @@ struct Shard<P, M> {
 }
 
 /// A sharded concurrent memo cache shared between a committing evaluator
-/// and its speculation workers.
+/// and its speculation workers — and, since the matrix-scoped refactor,
+/// between every cell of a campaign matrix (see [`EvalContext`]).
 ///
 /// Each point is computed exactly once no matter how many threads ask for
 /// it: the first asker installs a pending claim, everyone else
@@ -86,15 +91,28 @@ struct Shard<P, M> {
 /// or backs off ([`SharedCache::try_claim`]) until the claimant publishes
 /// via [`SharedCache::fulfill`]. The stats invariant — `T` calls to
 /// `get_or_compute` over `D` distinct keys give exactly `computed == D`
-/// and `served == T − D` — is what the concurrency tests pin.
+/// and `served == T − D` — is what the concurrency tests pin; a *bounded*
+/// cache ([`SharedCache::bounded`]) relaxes only the `computed` half: an
+/// evicted key recomputes on its next ask, so `computed` counts engine
+/// runs exactly and `evicted` counts FIFO removals exactly.
 pub struct SharedCache<P, M> {
     shards: Vec<Shard<P, M>>,
+    /// `Some(n)`: hold at most `n` published measurements, evicting the
+    /// oldest publication first. `None`: unbounded (the per-campaign
+    /// speculation tier, whose lifetime already bounds it).
+    capacity: Option<usize>,
+    /// Publication order, oldest first — touched only on
+    /// [`SharedCache::fulfill`], so the hot read path stays sharded. Never
+    /// locked while a shard lock is held (and vice versa), so the two lock
+    /// families cannot deadlock.
+    order: parking_lot::Mutex<VecDeque<P>>,
     computed: AtomicU64,
     served: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl<P: Clone + Eq + Hash, M> SharedCache<P, M> {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         SharedCache {
             shards: (0..SHARD_COUNT)
@@ -103,8 +121,23 @@ impl<P: Clone + Eq + Hash, M> SharedCache<P, M> {
                     ready: Condvar::new(),
                 })
                 .collect(),
+            capacity: None,
+            order: parking_lot::Mutex::new(VecDeque::new()),
             computed: AtomicU64::new(0),
             served: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty cache holding at most `capacity` published measurements
+    /// (clamped to at least 1), evicting in publication (FIFO) order. The
+    /// matrix-scoped cache is bounded so a fleet-size grid cannot grow it
+    /// without bound; eviction is safe because an evicted point simply
+    /// recomputes on its next ask.
+    pub fn bounded(capacity: usize) -> Self {
+        SharedCache {
+            capacity: Some(capacity.max(1)),
+            ..SharedCache::new()
         }
     }
 
@@ -158,16 +191,38 @@ impl<P: Clone + Eq + Hash, M> SharedCache<P, M> {
     }
 
     /// Publish the measurement for a point claimed earlier and wake every
-    /// thread blocked on it.
+    /// thread blocked on it. On a bounded cache this is also where FIFO
+    /// eviction runs: the just-published key joins the back of the
+    /// publication queue and the oldest keys beyond capacity are removed.
     pub fn fulfill(&self, point: P, measurement: M) -> Arc<M> {
         let shard = self.shard(&point);
         let measurement = Arc::new(measurement);
         shard
             .slots
             .lock()
-            .insert(point, Slot::Ready(Arc::clone(&measurement)));
+            .insert(point.clone(), Slot::Ready(Arc::clone(&measurement)));
         self.computed.fetch_add(1, Ordering::Relaxed);
         shard.ready.notify_all();
+        if let Some(capacity) = self.capacity {
+            let victims = {
+                let mut order = self.order.lock();
+                order.push_back(point);
+                let overflow = order.len().saturating_sub(capacity);
+                order.drain(..overflow).collect::<Vec<_>>()
+            };
+            for victim in victims {
+                let mut slots = self.shard(&victim).slots.lock();
+                // Only published slots are evictable: if the key was
+                // re-claimed between the queue pop and this lock, the
+                // Pending slot has a claimant (and possibly waiters)
+                // relying on it and must survive; the claimant's fulfill
+                // re-queues the key.
+                if matches!(slots.get(&victim), Some(Slot::Ready(_))) {
+                    slots.remove(&victim);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         measurement
     }
 
@@ -194,6 +249,21 @@ impl<P: Clone + Eq + Hash, M> SharedCache<P, M> {
     pub fn served_count(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
     }
+
+    /// Number of published measurements removed by the capacity bound
+    /// (always 0 on an unbounded cache).
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// This cache's computed/served/evicted counters as one snapshot.
+    pub fn totals(&self) -> CacheTotals {
+        CacheTotals {
+            computed: self.computed_count(),
+            served: self.served_count(),
+            evicted: self.evicted_count(),
+        }
+    }
 }
 
 impl<P: Clone + Eq + Hash, M> Default for SharedCache<P, M> {
@@ -205,9 +275,160 @@ impl<P: Clone + Eq + Hash, M> Default for SharedCache<P, M> {
 impl<P, M> fmt::Debug for SharedCache<P, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SharedCache")
+            .field("capacity", &self.capacity)
             .field("computed", &self.computed.load(Ordering::Relaxed))
             .field("served", &self.served.load(Ordering::Relaxed))
+            .field("evicted", &self.evicted.load(Ordering::Relaxed))
             .finish()
+    }
+}
+
+/// Aggregate shared-cache counters (one cache or a whole [`EvalContext`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheTotals {
+    /// Engine runs (each distinct resident key exactly once; an evicted
+    /// key recomputes on its next ask).
+    pub computed: u64,
+    /// Requests answered from an already-published slot.
+    pub served: u64,
+    /// Published measurements removed by a capacity bound.
+    pub evicted: u64,
+}
+
+impl std::ops::Add for CacheTotals {
+    type Output = CacheTotals;
+
+    /// Component-wise sum.
+    fn add(self, other: CacheTotals) -> CacheTotals {
+        CacheTotals {
+            computed: self.computed + other.computed,
+            served: self.served + other.served,
+            evicted: self.evicted + other.evicted,
+        }
+    }
+}
+
+/// How one evaluator interacted with its attached [`SharedCache`]: local
+/// misses it computed through the cache vs. local misses another thread
+/// (a speculation worker or a sibling matrix cell) had already published.
+///
+/// Kept separate from [`EvalStats`] on purpose: the hit/miss stats are part
+/// of the bit-identity contract (equal across serial, speculative, shared,
+/// and unshared runs), while these counters *describe* the sharing and are
+/// timing-dependent by nature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedUse {
+    /// Local misses this evaluator computed itself (through the shared
+    /// cache when one is attached).
+    pub computed: u64,
+    /// Local misses answered by a measurement some other thread published.
+    pub served: u64,
+}
+
+/// Everything one campaign's evaluator can report about its execution:
+/// the bit-identical cache stats, the shared-cache interaction counters,
+/// and the wall-clock of every flow-model compute (microseconds, in
+/// compute order) for throughput/latency summaries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvalProfile {
+    /// Local-cache hit/miss counters (the bit-identity stats).
+    pub stats: EvalStats,
+    /// Shared-cache interaction counters (zero without an attached cache).
+    pub shared: SharedUse,
+    /// Wall-clock microseconds of each flow-model compute this evaluator
+    /// ran itself.
+    pub compute_micros: Vec<u64>,
+}
+
+/// The matrix-scoped evaluation context: one bundle of [`SharedCache`]s
+/// created at the top of a campaign matrix and attached to every cell's
+/// evaluator, so identical canonical points measured by different
+/// strategy×seed cells are computed once per matrix instead of once per
+/// cell.
+///
+/// Caches are scoped **per subsystem** (a [`SearchPoint`] measured on
+/// subsystem F and on subsystem H are different experiments, so one flat
+/// cache keyed by point would serve wrong measurements on a mixed grid)
+/// and per point type (two-host workload vs. fabric). Ownership flows
+/// matrix → campaign → evaluator: each cell's evaluator reads through the
+/// attached cache on a local miss but keeps committing through its *local*
+/// cache, so [`EvalStats`] and every golden-trace fixture are byte-identical
+/// with the context attached or not.
+#[derive(Debug)]
+pub struct EvalContext {
+    /// Capacity for each per-subsystem cache (`None` = unbounded).
+    capacity: Option<usize>,
+    workload: parking_lot::Mutex<HashMap<SubsystemId, Arc<SharedCache<SearchPoint, Measurement>>>>,
+    fabric:
+        parking_lot::Mutex<HashMap<SubsystemId, Arc<SharedCache<FabricPoint, FabricMeasurement>>>>,
+}
+
+impl EvalContext {
+    /// A context of unbounded caches.
+    pub fn new() -> Self {
+        EvalContext {
+            capacity: None,
+            workload: parking_lot::Mutex::new(HashMap::new()),
+            fabric: parking_lot::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A context whose per-subsystem caches each hold at most `capacity`
+    /// published measurements (see [`SharedCache::bounded`]).
+    pub fn bounded(capacity: usize) -> Self {
+        EvalContext {
+            capacity: Some(capacity),
+            ..EvalContext::new()
+        }
+    }
+
+    fn cache_for<P: Clone + Eq + Hash, M>(
+        map: &parking_lot::Mutex<HashMap<SubsystemId, Arc<SharedCache<P, M>>>>,
+        capacity: Option<usize>,
+        subsystem: SubsystemId,
+    ) -> Arc<SharedCache<P, M>> {
+        Arc::clone(map.lock().entry(subsystem).or_insert_with(|| {
+            Arc::new(match capacity {
+                Some(capacity) => SharedCache::bounded(capacity),
+                None => SharedCache::new(),
+            })
+        }))
+    }
+
+    /// The two-host workload cache for `subsystem` (created on first use).
+    pub fn workload_cache(
+        &self,
+        subsystem: SubsystemId,
+    ) -> Arc<SharedCache<SearchPoint, Measurement>> {
+        EvalContext::cache_for(&self.workload, self.capacity, subsystem)
+    }
+
+    /// The fabric cache for `subsystem` (created on first use).
+    pub fn fabric_cache(
+        &self,
+        subsystem: SubsystemId,
+    ) -> Arc<SharedCache<FabricPoint, FabricMeasurement>> {
+        EvalContext::cache_for(&self.fabric, self.capacity, subsystem)
+    }
+
+    /// Computed/served/evicted counters summed over every cache this
+    /// context created.
+    pub fn totals(&self) -> CacheTotals {
+        let workload = self
+            .workload
+            .lock()
+            .values()
+            .fold(CacheTotals::default(), |acc, c| acc + c.totals());
+        self.fabric
+            .lock()
+            .values()
+            .fold(workload, |acc, c| acc + c.totals())
+    }
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        EvalContext::new()
     }
 }
 
@@ -257,6 +478,8 @@ pub struct Evaluator<'e> {
     shared: Option<Arc<SharedCache<SearchPoint, Measurement>>>,
     memoize: bool,
     stats: EvalStats,
+    shared_use: SharedUse,
+    compute_micros: Vec<u64>,
 }
 
 impl<'e> Evaluator<'e> {
@@ -268,6 +491,8 @@ impl<'e> Evaluator<'e> {
             shared: None,
             memoize: true,
             stats: EvalStats::default(),
+            shared_use: SharedUse::default(),
+            compute_micros: Vec::new(),
         }
     }
 
@@ -280,12 +505,32 @@ impl<'e> Evaluator<'e> {
         }
     }
 
+    /// Attach a matrix-scoped [`SharedCache`] (usually obtained from an
+    /// [`EvalContext`]): local misses will consult it before running the
+    /// flow model, and [`Evaluator::speculation`] will reuse it instead of
+    /// creating a per-campaign cache. A no-op on an uncached evaluator —
+    /// without a local memo cache the bit-identity contract could not
+    /// absorb a shared answer.
+    pub fn attach_shared(&mut self, shared: Arc<SharedCache<SearchPoint, Measurement>>) {
+        if self.memoize {
+            self.shared = Some(shared);
+        }
+    }
+
+    fn timed_compute(&mut self, point: &SearchPoint) -> Measurement {
+        let started = Instant::now();
+        let measurement = self.engine.measure(point);
+        self.compute_micros
+            .push(started.elapsed().as_micros() as u64);
+        measurement
+    }
+
     /// Measure one point, answering from the memo cache when the identical
     /// point was measured before.
     pub fn measure(&mut self, point: &SearchPoint) -> Measurement {
         if !self.memoize {
             self.stats.misses += 1;
-            return self.engine.measure(point);
+            return self.timed_compute(point);
         }
         if let Some(measurement) = self.cache.get(point) {
             self.stats.hits += 1;
@@ -294,9 +539,23 @@ impl<'e> Evaluator<'e> {
         self.stats.misses += 1;
         let measurement = if let Some(shared) = self.shared.as_ref().map(Arc::clone) {
             let engine = &mut *self.engine;
-            shared.get_or_compute(point, || engine.measure(point))
+            let micros = &mut self.compute_micros;
+            let mut computed_here = false;
+            let measurement = shared.get_or_compute(point, || {
+                computed_here = true;
+                let started = Instant::now();
+                let measurement = engine.measure(point);
+                micros.push(started.elapsed().as_micros() as u64);
+                measurement
+            });
+            if computed_here {
+                self.shared_use.computed += 1;
+            } else {
+                self.shared_use.served += 1;
+            }
+            measurement
         } else {
-            Arc::new(self.engine.measure(point))
+            Arc::new(self.timed_compute(point))
         };
         self.cache.insert(point.clone(), Arc::clone(&measurement));
         (*measurement).clone()
@@ -345,16 +604,34 @@ impl<'e> Evaluator<'e> {
         self.stats
     }
 
+    /// Shared-cache interaction counters so far (all zero without an
+    /// attached cache).
+    pub fn shared_use(&self) -> SharedUse {
+        self.shared_use
+    }
+
+    /// The full execution profile: stats, shared-cache interaction, and
+    /// per-compute wall-clock.
+    pub fn profile(&self) -> EvalProfile {
+        EvalProfile {
+            stats: self.stats,
+            shared: self.shared_use,
+            compute_micros: self.compute_micros.clone(),
+        }
+    }
+
     /// Number of distinct points held in the cache.
     pub fn cached_points(&self) -> usize {
         self.cache.len()
     }
 
     /// Prepare shared-cache speculation: wires a [`SharedCache`] into this
-    /// evaluator and forks `workers` independent engines for the worker
-    /// threads. Returns `None` when memoization is off (without a memo
-    /// cache, speculated results could not be handed back to the
-    /// committing loop) or when no workers were requested.
+    /// evaluator — reusing an attached matrix-scoped cache when one is
+    /// present, so speculation workers publish where sibling cells read —
+    /// and forks `workers` independent engines for the worker threads.
+    /// Returns `None` when memoization is off (without a memo cache,
+    /// speculated results could not be handed back to the committing loop)
+    /// or when no workers were requested.
     pub fn speculation(
         &mut self,
         workers: usize,
@@ -362,7 +639,10 @@ impl<'e> Evaluator<'e> {
         if !self.memoize || workers == 0 {
             return None;
         }
-        let shared = Arc::new(SharedCache::new());
+        let shared = match &self.shared {
+            Some(shared) => Arc::clone(shared),
+            None => Arc::new(SharedCache::new()),
+        };
         self.shared = Some(Arc::clone(&shared));
         let workers = (0..workers)
             .map(|_| {
@@ -554,5 +834,163 @@ mod tests {
         let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
         assert!(Evaluator::uncached(&mut engine).speculation(4).is_none());
         assert!(Evaluator::new(&mut engine).speculation(0).is_none());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_in_publication_order_with_exact_counters() {
+        let cache: SharedCache<u32, u32> = SharedCache::bounded(2);
+        for k in [1u32, 2, 3] {
+            assert_eq!(*cache.get_or_compute(&k, || k * 10), k * 10);
+        }
+        // Capacity 2: publishing key 3 evicted key 1 (oldest first).
+        assert_eq!(cache.computed_count(), 3);
+        assert_eq!(cache.evicted_count(), 1);
+        assert!(cache.peek(&1).is_none(), "key 1 must be evicted");
+        assert!(cache.peek(&2).is_some() && cache.peek(&3).is_some());
+        // An evicted key recomputes on its next ask (and its re-publication
+        // evicts key 2, the new oldest resident).
+        assert_eq!(*cache.get_or_compute(&1, || 10), 10);
+        assert_eq!(cache.computed_count(), 4);
+        assert_eq!(cache.evicted_count(), 2);
+        assert!(cache.peek(&2).is_none(), "key 2 must be evicted");
+        // Resident keys still serve without recompute.
+        assert_eq!(*cache.get_or_compute(&3, || panic!("resident")), 30);
+        assert_eq!(cache.served_count(), 1);
+        assert_eq!(
+            cache.totals(),
+            CacheTotals {
+                computed: 4,
+                served: 1,
+                evicted: 2
+            }
+        );
+    }
+
+    #[test]
+    fn bounded_cache_capacity_clamps_to_one() {
+        let cache: SharedCache<u32, u32> = SharedCache::bounded(0);
+        assert_eq!(*cache.get_or_compute(&1, || 10), 10);
+        assert_eq!(*cache.get_or_compute(&2, || 20), 20);
+        assert_eq!(cache.evicted_count(), 1);
+        assert!(cache.peek(&2).is_some(), "the newest key always survives");
+    }
+
+    #[test]
+    fn speculation_reuses_an_attached_shared_cache() {
+        let shared: Arc<SharedCache<SearchPoint, Measurement>> = Arc::new(SharedCache::new());
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = Evaluator::new(&mut engine);
+        evaluator.attach_shared(Arc::clone(&shared));
+        let parts = evaluator.speculation(1).expect("memoized evaluator");
+        assert!(
+            Arc::ptr_eq(&parts.shared, &shared),
+            "speculation workers must publish into the matrix-scoped cache"
+        );
+    }
+
+    #[test]
+    fn attach_shared_is_a_no_op_without_memoization() {
+        let shared: Arc<SharedCache<SearchPoint, Measurement>> = Arc::new(SharedCache::new());
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = Evaluator::uncached(&mut engine);
+        evaluator.attach_shared(Arc::clone(&shared));
+        let p = anomalous_point();
+        let _ = evaluator.measure(&p);
+        assert_eq!(shared.computed_count(), 0, "uncached path must not share");
+        assert_eq!(evaluator.shared_use(), SharedUse::default());
+    }
+
+    #[test]
+    fn attached_cache_tracks_shared_use_without_touching_stats() {
+        let shared: Arc<SharedCache<SearchPoint, Measurement>> = Arc::new(SharedCache::new());
+        let mut reference = WorkloadEngine::for_catalog(SubsystemId::F);
+        let p = anomalous_point();
+        shared.fulfill(p.clone(), reference.measure(&p));
+
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = Evaluator::new(&mut engine);
+        evaluator.attach_shared(Arc::clone(&shared));
+        // Local miss served by the shared publication: stats still record a
+        // plain miss (bit-identity), SharedUse records the serve, and no
+        // compute latency is logged because no flow model ran here.
+        let got = evaluator.measure(&p);
+        assert_eq!(got, reference.measure(&p));
+        assert_eq!(evaluator.stats(), EvalStats { hits: 0, misses: 1 });
+        assert_eq!(
+            evaluator.shared_use(),
+            SharedUse {
+                computed: 0,
+                served: 1
+            }
+        );
+        assert!(evaluator.profile().compute_micros.is_empty());
+        // A genuinely new point is computed through the shared cache.
+        let _ = evaluator.measure(&SearchPoint::benign());
+        assert_eq!(
+            evaluator.shared_use(),
+            SharedUse {
+                computed: 1,
+                served: 1
+            }
+        );
+        assert_eq!(evaluator.profile().compute_micros.len(), 1);
+    }
+
+    #[test]
+    fn profile_records_one_latency_per_compute() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = Evaluator::new(&mut engine);
+        let p = anomalous_point();
+        let _ = evaluator.measure(&p);
+        let _ = evaluator.measure(&p);
+        assert_eq!(evaluator.profile().compute_micros.len(), 1);
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let mut uncached = Evaluator::uncached(&mut engine);
+        let _ = uncached.measure(&p);
+        let _ = uncached.measure(&p);
+        assert_eq!(uncached.profile().compute_micros.len(), 2);
+    }
+
+    #[test]
+    fn eval_context_scopes_caches_per_subsystem_and_point_type() {
+        let ctx = EvalContext::new();
+        let f = ctx.workload_cache(SubsystemId::F);
+        assert!(
+            Arc::ptr_eq(&f, &ctx.workload_cache(SubsystemId::F)),
+            "same subsystem must share one cache"
+        );
+        assert!(
+            !Arc::ptr_eq(&f, &ctx.workload_cache(SubsystemId::H)),
+            "a SearchPoint means different experiments on different \
+             subsystems; the caches must be distinct"
+        );
+        // Fabric caches are a separate family keyed by FabricPoint.
+        let _ = ctx.fabric_cache(SubsystemId::F);
+        assert_eq!(ctx.totals(), CacheTotals::default());
+        f.fulfill(SearchPoint::benign(), {
+            let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+            engine.measure(&SearchPoint::benign())
+        });
+        assert_eq!(
+            ctx.totals(),
+            CacheTotals {
+                computed: 1,
+                served: 0,
+                evicted: 0
+            }
+        );
+    }
+
+    #[test]
+    fn bounded_context_bounds_every_cache_it_creates() {
+        let ctx = EvalContext::bounded(1);
+        let cache = ctx.workload_cache(SubsystemId::F);
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let benign = SearchPoint::benign();
+        cache.fulfill(benign.clone(), engine.measure(&benign));
+        let p = anomalous_point();
+        cache.fulfill(p.clone(), engine.measure(&p));
+        assert_eq!(ctx.totals().evicted, 1);
+        assert!(cache.peek(&benign).is_none());
     }
 }

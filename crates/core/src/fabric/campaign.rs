@@ -20,7 +20,7 @@
 //! relabelled random baseline.
 
 use super::{FabricEngine, FabricEvaluator};
-use crate::eval::EvalStats;
+use crate::eval::{EvalProfile, EvalStats, SharedCache};
 use crate::monitor::{AnomalyMonitor, FeatureCondition, Symptom};
 use crate::search::domain::{CampaignReport, ExtractionCost, SearchDomain};
 use crate::search::kernel::{run_annealing, run_bayesian, run_random, CampaignLoop};
@@ -346,6 +346,21 @@ pub fn run_fabric_search_with_stats(
     space: &FabricSpace,
     config: &SearchConfig,
 ) -> (FabricOutcome, EvalStats) {
+    let (outcome, profile) = run_fabric_search_in_context(engine, space, config, None);
+    (outcome, profile.stats)
+}
+
+/// Run one fabric campaign with an optional matrix-scoped [`SharedCache`]
+/// attached (see [`crate::eval::EvalContext`]): the fabric counterpart of
+/// [`run_search_in_context`](crate::search::run_search_in_context), with
+/// the same bit-identity contract — commits go through the evaluator's
+/// local cache, so the outcome and stats are independent of `shared`.
+pub fn run_fabric_search_in_context(
+    engine: &mut FabricEngine,
+    space: &FabricSpace,
+    config: &SearchConfig,
+    shared: Option<std::sync::Arc<SharedCache<FabricPoint, FabricMeasurement>>>,
+) -> (FabricOutcome, EvalProfile) {
     // The two-host legacy-compat knobs never describe a fabric behaviour:
     // the fabric stack always had identity-keyed dedup and a stuck-walk
     // escape (that is what the fig7 golden fixtures pin). Enforce both so
@@ -363,27 +378,30 @@ pub fn run_fabric_search_with_stats(
     } else {
         FabricEvaluator::uncached(engine)
     };
-    let domain = FabricDomain::new(&mut evaluator, &monitor, space, config.signal);
-    let mut campaign = CampaignLoop::new(domain, config);
-    if let Some(lookahead) = config.speculation {
-        campaign.enable_speculation(lookahead);
+    if let Some(shared) = shared {
+        evaluator.attach_shared(shared);
     }
-    // One arm per strategy, each dispatching to the generic kernel driver
-    // of the same name: the outcome's label (derived from the strategy by
-    // `SearchConfig::label`) always names the driver that actually ran.
-    // (A Bayesian config used to be silently normalised to the random
-    // baseline while its report still said "BO" — the fabric surrogate
-    // encoding removed the need for that mapping.)
-    match config.strategy {
-        SearchStrategy::SimulatedAnnealing => run_annealing(&mut campaign),
-        SearchStrategy::Random => run_random(&mut campaign),
-        SearchStrategy::Bayesian => run_bayesian(&mut campaign),
-    }
-    let stats = campaign.eval_stats();
-    (
-        FabricOutcome::from_report(format!("{} fabric", config.label()), campaign.finish()),
-        stats,
-    )
+    let outcome = {
+        let domain = FabricDomain::new(&mut evaluator, &monitor, space, config.signal);
+        let mut campaign = CampaignLoop::new(domain, config);
+        if let Some(lookahead) = config.speculation {
+            campaign.enable_speculation(lookahead);
+        }
+        // One arm per strategy, each dispatching to the generic kernel driver
+        // of the same name: the outcome's label (derived from the strategy by
+        // `SearchConfig::label`) always names the driver that actually ran.
+        // (A Bayesian config used to be silently normalised to the random
+        // baseline while its report still said "BO" — the fabric surrogate
+        // encoding removed the need for that mapping.)
+        match config.strategy {
+            SearchStrategy::SimulatedAnnealing => run_annealing(&mut campaign),
+            SearchStrategy::Random => run_random(&mut campaign),
+            SearchStrategy::Bayesian => run_bayesian(&mut campaign),
+        }
+        FabricOutcome::from_report(format!("{} fabric", config.label()), campaign.finish())
+    };
+    let profile = evaluator.profile();
+    (outcome, profile)
 }
 
 #[cfg(test)]

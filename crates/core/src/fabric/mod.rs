@@ -30,12 +30,13 @@ mod campaign;
 mod mfs;
 
 pub use campaign::{
-    run_fabric_search, run_fabric_search_with_stats, FabricDiscovery, FabricDomain, FabricOutcome,
+    run_fabric_search, run_fabric_search_in_context, run_fabric_search_with_stats, FabricDiscovery,
+    FabricDomain, FabricOutcome,
 };
 pub use mfs::{FabricExtractionOutcome, FabricMfs, FabricMfsExtractor, FabricSignature};
 
 use crate::engine::WorkloadEngine;
-use crate::eval::{EvalStats, SharedCache, SpecWorker, SpeculationParts};
+use crate::eval::{EvalProfile, EvalStats, SharedCache, SharedUse, SpecWorker, SpeculationParts};
 use crate::monitor::{AnomalyMonitor, Symptom};
 use crate::space::{FabricPoint, SearchPoint};
 use collie_rnic::fabric::{evaluate_fabric, FabricMeasurement};
@@ -45,6 +46,7 @@ use collie_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Sets up and runs fabric experiments: N homogeneous hosts around the
 /// wrapped two-host engine.
@@ -189,6 +191,8 @@ pub struct FabricEvaluator<'e> {
     shared: Option<Arc<SharedCache<FabricPoint, FabricMeasurement>>>,
     memoize: bool,
     stats: EvalStats,
+    shared_use: SharedUse,
+    compute_micros: Vec<u64>,
 }
 
 struct ForkedFabricWorker {
@@ -210,6 +214,18 @@ impl<'e> FabricEvaluator<'e> {
             shared: None,
             memoize: true,
             stats: EvalStats::default(),
+            shared_use: SharedUse::default(),
+            compute_micros: Vec::new(),
+        }
+    }
+
+    /// Attach a matrix-scoped shared cache (see
+    /// [`Evaluator::attach_shared`](crate::eval::Evaluator::attach_shared)):
+    /// local misses are answered through `shared` while [`Self::stats`] stay
+    /// bit-identical. No-op when memoization is off.
+    pub fn attach_shared(&mut self, shared: Arc<SharedCache<FabricPoint, FabricMeasurement>>) {
+        if self.memoize {
+            self.shared = Some(shared);
         }
     }
 
@@ -227,7 +243,7 @@ impl<'e> FabricEvaluator<'e> {
     pub fn measure(&mut self, point: &FabricPoint) -> FabricMeasurement {
         if !self.memoize {
             self.stats.misses += 1;
-            return self.engine.measure(point);
+            return self.timed_compute(point);
         }
         if let Some(measurement) = self.cache.get(point) {
             self.stats.hits += 1;
@@ -236,12 +252,35 @@ impl<'e> FabricEvaluator<'e> {
         self.stats.misses += 1;
         let measurement = if let Some(shared) = self.shared.as_ref().map(Arc::clone) {
             let engine = &mut *self.engine;
-            shared.get_or_compute(point, || engine.measure(point))
+            let micros = &mut self.compute_micros;
+            let mut computed_here = false;
+            let measurement = shared.get_or_compute(point, || {
+                computed_here = true;
+                let started = Instant::now();
+                let measurement = engine.measure(point);
+                micros.push(started.elapsed().as_micros() as u64);
+                measurement
+            });
+            if computed_here {
+                self.shared_use.computed += 1;
+            } else {
+                self.shared_use.served += 1;
+            }
+            measurement
         } else {
-            Arc::new(self.engine.measure(point))
+            Arc::new(self.timed_compute(point))
         };
         self.cache.insert(point.clone(), Arc::clone(&measurement));
         (*measurement).clone()
+    }
+
+    /// Run the fabric model for one point, recording its wall-clock cost.
+    fn timed_compute(&mut self, point: &FabricPoint) -> FabricMeasurement {
+        let started = Instant::now();
+        let measurement = self.engine.measure(point);
+        self.compute_micros
+            .push(started.elapsed().as_micros() as u64);
+        measurement
     }
 
     /// The §6 measurement procedure through the cache: sample the fabric
@@ -277,7 +316,13 @@ impl<'e> FabricEvaluator<'e> {
         if !self.memoize || workers == 0 {
             return None;
         }
-        let shared = Arc::new(SharedCache::new());
+        // Reuse a matrix-scoped cache when one is attached so speculation
+        // workers publish where sibling cells can read; otherwise the cache
+        // is private to this campaign.
+        let shared = match &self.shared {
+            Some(shared) => Arc::clone(shared),
+            None => Arc::new(SharedCache::new()),
+        };
         self.shared = Some(Arc::clone(&shared));
         let workers = (0..workers)
             .map(|_| {
@@ -302,6 +347,22 @@ impl<'e> FabricEvaluator<'e> {
     /// Cache hit/miss counters so far.
     pub fn stats(&self) -> EvalStats {
         self.stats
+    }
+
+    /// Shared-cache interaction counters (see
+    /// [`Evaluator::shared_use`](crate::eval::Evaluator::shared_use)).
+    pub fn shared_use(&self) -> SharedUse {
+        self.shared_use
+    }
+
+    /// The full evaluation profile: local stats, shared-cache interaction,
+    /// and one wall-clock latency per fabric-model run on this thread.
+    pub fn profile(&self) -> EvalProfile {
+        EvalProfile {
+            stats: self.stats,
+            shared: self.shared_use,
+            compute_micros: self.compute_micros.clone(),
+        }
     }
 
     /// Number of distinct points held in the cache.
@@ -470,6 +531,57 @@ mod tests {
 
         let mut uncached = FabricEvaluator::uncached(&mut reference);
         assert!(uncached.speculation(2).is_none());
+    }
+
+    #[test]
+    fn fabric_speculation_reuses_an_attached_shared_cache() {
+        let shared: Arc<SharedCache<FabricPoint, FabricMeasurement>> = Arc::new(SharedCache::new());
+        let mut engine = FabricEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = FabricEvaluator::new(&mut engine);
+        evaluator.attach_shared(Arc::clone(&shared));
+        let parts = evaluator.speculation(1).expect("memoized evaluator");
+        assert!(
+            Arc::ptr_eq(&parts.shared, &shared),
+            "speculation workers must publish into the matrix-scoped cache"
+        );
+    }
+
+    #[test]
+    fn attached_fabric_cache_tracks_shared_use_without_touching_stats() {
+        let shared: Arc<SharedCache<FabricPoint, FabricMeasurement>> = Arc::new(SharedCache::new());
+        let mut reference = FabricEngine::for_catalog(SubsystemId::F);
+        let p = cross_host_culprit();
+        shared.fulfill(p.clone(), reference.measure(&p));
+
+        let mut engine = FabricEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = FabricEvaluator::new(&mut engine);
+        evaluator.attach_shared(Arc::clone(&shared));
+        let got = evaluator.measure(&p);
+        assert_eq!(got, reference.measure(&p));
+        assert_eq!(evaluator.stats(), EvalStats { hits: 0, misses: 1 });
+        assert_eq!(
+            evaluator.shared_use(),
+            SharedUse {
+                computed: 0,
+                served: 1
+            }
+        );
+        assert!(evaluator.profile().compute_micros.is_empty());
+        let _ = evaluator.measure(&FabricPoint::benign());
+        assert_eq!(
+            evaluator.shared_use(),
+            SharedUse {
+                computed: 1,
+                served: 1
+            }
+        );
+        assert_eq!(evaluator.profile().compute_micros.len(), 1);
+
+        let mut uncached = FabricEvaluator::uncached(&mut reference);
+        uncached.attach_shared(Arc::clone(&shared));
+        let _ = uncached.measure(&p);
+        assert_eq!(uncached.shared_use(), SharedUse::default());
+        assert_eq!(uncached.profile().compute_micros.len(), 1);
     }
 
     #[test]

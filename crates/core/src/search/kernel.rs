@@ -190,6 +190,14 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
     /// bit-identical to the serial loop; a mispredicted proposal only
     /// wastes worker time. No-op when `lookahead` is 0 or the domain
     /// cannot speculate (e.g. its evaluator is uncached).
+    ///
+    /// When the evaluator carries a matrix-scoped cache (see
+    /// [`EvalContext`](crate::eval::EvalContext)) the workers publish into
+    /// that cache instead of a campaign-private one, so speculative
+    /// computes are visible to sibling grid cells; the planner's
+    /// shared-cache peeks only affect which points get *pre*-computed,
+    /// never the committed stream, so the bit-identity contract holds
+    /// unchanged.
     pub fn enable_speculation(&mut self, lookahead: usize)
     where
         D::Point: Send + 'static,

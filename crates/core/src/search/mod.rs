@@ -24,7 +24,8 @@ pub use domain::{CampaignReport, ExtractionCost, SearchDomain};
 use crate::engine::WorkloadEngine;
 use crate::eval::Evaluator;
 use crate::monitor::AnomalyMonitor;
-use crate::space::SearchSpace;
+use crate::space::{SearchPoint, SearchSpace};
+use collie_rnic::subsystem::Measurement;
 use collie_sim::time::SimDuration;
 use kernel::CampaignLoop;
 use serde::{Deserialize, Serialize};
@@ -341,27 +342,48 @@ pub fn run_search_with_stats(
     space: &SearchSpace,
     config: &SearchConfig,
 ) -> (SearchOutcome, crate::eval::EvalStats) {
+    let (outcome, profile) = run_search_in_context(engine, space, config, None);
+    (outcome, profile.stats)
+}
+
+/// Run one search campaign with an optional matrix-scoped
+/// [`SharedCache`](crate::eval::SharedCache) attached (see
+/// [`crate::eval::EvalContext`]): local misses read through the shared
+/// cache and computes are published for sibling cells, while commits still
+/// go through the evaluator's local cache so the outcome and its
+/// [`EvalStats`](crate::eval::EvalStats) are bit-identical with or without
+/// `shared`. Returns the full [`EvalProfile`](crate::eval::EvalProfile)
+/// for perf harnesses.
+pub fn run_search_in_context(
+    engine: &mut WorkloadEngine,
+    space: &SearchSpace,
+    config: &SearchConfig,
+    shared: Option<std::sync::Arc<crate::eval::SharedCache<SearchPoint, Measurement>>>,
+) -> (SearchOutcome, crate::eval::EvalProfile) {
     let monitor = AnomalyMonitor::new();
     let mut evaluator = if config.memoize {
         Evaluator::new(engine)
     } else {
         Evaluator::uncached(engine)
     };
-    let domain = WorkloadDomain::new(&mut evaluator, &monitor, space, config.signal);
-    let mut campaign = CampaignLoop::new(domain, config);
-    if let Some(lookahead) = config.speculation {
-        campaign.enable_speculation(lookahead);
+    if let Some(shared) = shared {
+        evaluator.attach_shared(shared);
     }
-    match config.strategy {
-        SearchStrategy::Random => kernel::run_random(&mut campaign),
-        SearchStrategy::Bayesian => kernel::run_bayesian(&mut campaign),
-        SearchStrategy::SimulatedAnnealing => kernel::run_annealing(&mut campaign),
-    }
-    let stats = campaign.eval_stats();
-    (
-        SearchOutcome::from_report(config.label(), campaign.finish()),
-        stats,
-    )
+    let outcome = {
+        let domain = WorkloadDomain::new(&mut evaluator, &monitor, space, config.signal);
+        let mut campaign = CampaignLoop::new(domain, config);
+        if let Some(lookahead) = config.speculation {
+            campaign.enable_speculation(lookahead);
+        }
+        match config.strategy {
+            SearchStrategy::Random => kernel::run_random(&mut campaign),
+            SearchStrategy::Bayesian => kernel::run_bayesian(&mut campaign),
+            SearchStrategy::SimulatedAnnealing => kernel::run_annealing(&mut campaign),
+        }
+        SearchOutcome::from_report(config.label(), campaign.finish())
+    };
+    let profile = evaluator.profile();
+    (outcome, profile)
 }
 
 #[cfg(test)]
