@@ -40,6 +40,34 @@ fn bench_space_operations(c: &mut Criterion) {
     });
 }
 
+/// The incremental-evaluation ablation on a seeded single-knob mutation
+/// chain — the same access pattern a campaign's proposal stream produces.
+/// `chain/scratch` keeps the delta caches off, `chain/incremental` turns
+/// them on; both cycle through an identical pre-built chain so the only
+/// difference is per-flow / per-direction stage reuse.
+fn bench_mutation_chain(c: &mut Criterion) {
+    let space = SearchSpace::for_host(&SubsystemId::F.host());
+    let mut rng = SimRng::new(collie_bench::DEFAULT_SEEDS[0]);
+    let mut chain = Vec::with_capacity(512);
+    let mut point = SearchPoint::benign();
+    for _ in 0..512 {
+        point = space.mutate(&point, &mut rng);
+        chain.push(point.clone());
+    }
+    for (label, incremental) in [("chain/scratch", false), ("chain/incremental", true)] {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        engine.set_incremental(incremental);
+        let mut index = 0usize;
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                let measurement = black_box(engine.measure(black_box(&chain[index])));
+                index = (index + 1) % chain.len();
+                measurement
+            })
+        });
+    }
+}
+
 fn bench_mfs_extraction(c: &mut Criterion) {
     c.bench_function("mfs/extract_anomaly_1", |b| {
         b.iter(|| {
@@ -58,6 +86,7 @@ criterion_group!(
     benches,
     bench_evaluate,
     bench_space_operations,
+    bench_mutation_chain,
     bench_mfs_extraction
 );
 criterion_main!(benches);

@@ -23,9 +23,10 @@ use collie_bench::{
 use collie_core::engine::WorkloadEngine;
 use collie_core::eval::{CacheTotals, EvalProfile, EvalStats, SharedUse};
 use collie_core::search::{SearchConfig, SignalMode};
-use collie_core::space::SearchPoint;
+use collie_core::space::{SearchPoint, SearchSpace};
 use collie_rnic::subsystems::SubsystemId;
 use collie_rnic::workload::{Opcode, Transport};
+use collie_sim::rng::SimRng;
 use collie_sim::time::SimDuration;
 use std::path::Path;
 use std::time::Instant;
@@ -204,6 +205,7 @@ fn eval_cache_bench(subsystem: SubsystemId, mode: &str, budget: SimDuration) -> 
                         stats: cell.stats,
                         shared: cell.shared,
                         compute_micros: cell.compute_micros.clone(),
+                        incremental: cell.incremental,
                     },
                 )
             })
@@ -213,7 +215,16 @@ fn eval_cache_bench(subsystem: SubsystemId, mode: &str, budget: SimDuration) -> 
 }
 
 /// The raw flow-model bench: per-call latency of `WorkloadEngine::measure`
-/// on a benign and an anomalous workload, no cache anywhere.
+/// on a benign and an anomalous workload with no cache anywhere, plus the
+/// incremental ablation — the same seeded single-knob mutation chain
+/// measured three ways: from scratch (a fresh engine per point, the
+/// baseline the differential suite also compares against), on one warm
+/// engine with the delta caches off, and on one warm engine with the delta
+/// caches on. The chain is what a campaign's proposal stream looks like
+/// (each point differs from its predecessor in exactly one knob), so the
+/// chain-fresh / chain-incremental throughput ratio is the headline the
+/// acceptance gate tracks; chain-scratch isolates how much of it comes
+/// from reuse rather than from keeping the engine alive.
 fn workload_engine_bench(subsystem: SubsystemId, mode: &str, iterations: usize) -> BenchReport {
     let anomalous = {
         let mut point = SearchPoint::benign();
@@ -225,15 +236,21 @@ fn workload_engine_bench(subsystem: SubsystemId, mode: &str, iterations: usize) 
         point.messages = vec![2048];
         point
     };
-    let cells = [("benign", SearchPoint::benign()), ("anomalous", anomalous)]
-        .iter()
-        .map(|(label, point)| {
+    let run_cell =
+        |label: &str, incremental: bool, fresh: bool, points: &dyn Fn(usize) -> SearchPoint| {
             let mut engine = WorkloadEngine::for_catalog(subsystem);
+            engine.set_incremental(incremental);
             let mut micros = Vec::with_capacity(iterations);
             let started = Instant::now();
-            for _ in 0..iterations {
+            for i in 0..iterations {
+                let point = points(i);
                 let call = Instant::now();
-                let _ = engine.measure(point);
+                if fresh {
+                    // From-scratch evaluation: the engine is rebuilt per point,
+                    // so nothing can carry over between measurements.
+                    engine = WorkloadEngine::for_catalog(subsystem);
+                }
+                let _ = engine.measure(&point);
                 micros.push(call.elapsed().as_micros() as u64);
             }
             BenchCell::from_profile(
@@ -247,16 +264,45 @@ fn workload_engine_bench(subsystem: SubsystemId, mode: &str, iterations: usize) 
                     },
                     shared: SharedUse::default(),
                     compute_micros: micros,
+                    incremental: engine.subsystem().incremental_use(),
                 },
             )
-        })
-        .collect();
+        };
+    let benign = SearchPoint::benign();
+    let chain = mutation_chain(subsystem, iterations);
+    // The incremental leg honours COLLIE_INCREMENTAL so the CI env leg
+    // genuinely exercises the from-scratch path end to end.
+    let incremental_mode = SearchConfig::default_incremental();
+    let cells = vec![
+        run_cell("benign", false, false, &|_| benign.clone()),
+        run_cell("anomalous", false, false, &|_| anomalous.clone()),
+        run_cell("chain-fresh", false, true, &|i| chain[i].clone()),
+        run_cell("chain-scratch", false, false, &|i| chain[i].clone()),
+        run_cell("chain-incremental", incremental_mode, false, &|i| {
+            chain[i].clone()
+        }),
+    ];
     BenchReport {
         name: "workload_engine".to_string(),
         mode: mode.to_string(),
         cells,
         totals: CacheTotals::default(),
     }
+}
+
+/// A seeded random walk of single-knob mutations from the benign point —
+/// the proposal stream shape of an annealing campaign, reproduced outside
+/// any campaign so the two chain cells measure the identical point list.
+fn mutation_chain(subsystem: SubsystemId, length: usize) -> Vec<SearchPoint> {
+    let space = SearchSpace::for_host(&subsystem.host());
+    let mut rng = SimRng::new(DEFAULT_SEEDS[0]);
+    let mut points = Vec::with_capacity(length);
+    let mut current = SearchPoint::benign();
+    for _ in 0..length {
+        points.push(current.clone());
+        current = space.mutate(&current, &mut rng);
+    }
+    points
 }
 
 /// `--validate FILE...`: parse and schema-check emitted reports; the CI

@@ -21,6 +21,7 @@ use collie_core::eval::{CacheTotals, EvalContext, EvalStats, SharedUse};
 use collie_core::fabric::{run_fabric_search_in_context, FabricEngine, FabricOutcome};
 use collie_core::search::{run_search_in_context, SearchConfig, SearchOutcome};
 use collie_core::space::{FabricSpace, SearchSpace};
+use collie_rnic::subsystem::IncrementalUse;
 use collie_rnic::subsystems::SubsystemId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -197,6 +198,9 @@ pub struct MatrixCell<O> {
     /// One wall-clock latency (µs) per engine compute on the cell's commit
     /// thread.
     pub compute_micros: Vec<u64>,
+    /// Incremental stage-reuse counters of the cell's engine (all zero
+    /// when incremental evaluation is off).
+    pub incremental: IncrementalUse,
 }
 
 /// A finished campaign matrix: the cells in matrix order plus the shared
@@ -241,6 +245,7 @@ pub fn run_campaign_matrix_report(
             shared: profile.shared,
             wall_secs: started.elapsed().as_secs_f64(),
             compute_micros: profile.compute_micros,
+            incremental: profile.incremental,
         }
     });
     MatrixReport {
@@ -269,6 +274,7 @@ pub fn run_fabric_campaign_matrix_report(
             shared: profile.shared,
             wall_secs: started.elapsed().as_secs_f64(),
             compute_micros: profile.compute_micros,
+            incremental: profile.incremental,
         }
     });
     MatrixReport {
@@ -333,6 +339,7 @@ pub fn bench_report<O>(
                         stats: cell.stats,
                         shared: cell.shared,
                         compute_micros: cell.compute_micros.clone(),
+                        incremental: cell.incremental,
                     },
                 )
             })

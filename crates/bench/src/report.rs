@@ -217,6 +217,7 @@ mod tests {
                     served: 3,
                 },
                 compute_micros: vec![10, 20, 30, 40],
+                incremental: Default::default(),
             },
         )
     }

@@ -60,12 +60,25 @@ impl WorkloadEngine {
     /// fork measures identically to its parent.
     pub fn fork(&self) -> Self {
         let s = &self.subsystem;
-        WorkloadEngine::new(Subsystem::new(
+        let mut engine = WorkloadEngine::new(Subsystem::new(
             s.name.clone(),
             s.rnic.clone(),
             s.host_a.clone(),
             s.host_b.clone(),
-        ))
+        ));
+        // The incremental mode travels with the fork (its delta caches
+        // start empty; they refill as the fork measures).
+        engine.set_incremental(s.incremental());
+        engine
+    }
+
+    /// Enable or disable the subsystem's incremental evaluation path.
+    /// Measurements are byte-identical either way; on only caches per-flow
+    /// and per-direction stage results between calls. Off by default, so
+    /// raw `measure` users (e.g. the from-scratch bench baseline) keep
+    /// rebuilding the full model.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.subsystem.set_incremental(enabled);
     }
 
     /// The subsystem under test.
@@ -141,6 +154,18 @@ impl WorkloadEngine {
     pub fn measure(&mut self, point: &SearchPoint) -> Measurement {
         let workload = self.translate(point);
         self.subsystem.evaluate(&workload)
+    }
+
+    /// Run one experiment per point, in order — the batched entry the
+    /// speculation planners feed whole lookahead sets through. Semantically
+    /// identical to calling [`WorkloadEngine::measure`] per point (the
+    /// determinism contract makes that a definition, not an
+    /// approximation); with the incremental path enabled the points of a
+    /// batch share per-flow rule and per-direction fluid stage work through
+    /// the subsystem's delta caches, which is where the batch speedup comes
+    /// from.
+    pub fn measure_batch(&mut self, points: &[SearchPoint]) -> Vec<Measurement> {
+        points.iter().map(|point| self.measure(point)).collect()
     }
 
     /// How long this experiment would take on real hardware. The paper
@@ -265,8 +290,13 @@ impl WorkloadEngine {
                     .map(|i| {
                         let size = point.messages[i as usize % point.messages.len()]
                             .min(mr_size.as_bytes());
-                        let sge_count = point.sge_per_wqe.max(1) as u64;
-                        let chunk = (size / sge_count).max(1);
+                        // A message smaller than the SG list cannot fill
+                        // every entry: clamp the effective SGE count to the
+                        // message size so the last entry's remainder cannot
+                        // underflow and per-entry lengths cannot inflate
+                        // the total past the message.
+                        let sge_count = (point.sge_per_wqe.max(1) as u64).min(size.max(1));
+                        let chunk = size / sge_count;
                         let sge: Vec<Sge> = (0..sge_count)
                             .map(|s| {
                                 let len = if s == sge_count - 1 {
@@ -422,6 +452,60 @@ mod tests {
             fast.max_pause_ratio() > 0.001,
             faithful.max_pause_ratio() > 0.001
         );
+    }
+
+    #[test]
+    fn verbs_sge_split_survives_messages_smaller_than_the_sge_list() {
+        // Regression: an 8-byte message split across 16 SGEs used to compute
+        // `size - chunk * (sge_count - 1)` = 8 - 1*15, which wraps (and
+        // panics in debug builds). The effective SGE count is now clamped
+        // to the message size.
+        let e = engine();
+        let mut p = SearchPoint::benign();
+        p.num_qps = 1;
+        p.wqe_batch = 4;
+        p.sge_per_wqe = 16;
+        p.messages = vec![8];
+        let m = e
+            .run_via_verbs(&p)
+            .expect("tiny messages must not underflow the SGE split");
+        assert!(m.total_throughput().bits_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn measure_batch_matches_serial_measures_in_both_modes() {
+        let mut p2 = SearchPoint::benign();
+        p2.transport = Transport::Ud;
+        p2.opcode = Opcode::Send;
+        p2.wqe_batch = 64;
+        p2.recv_queue_depth = 256;
+        p2.messages = vec![2048];
+        p2.mtu = 2048;
+        let mut p3 = p2.clone();
+        p3.wqe_batch = 8;
+        let points = [SearchPoint::benign(), p2, p3, SearchPoint::benign()];
+
+        let mut serial = engine();
+        let expected: Vec<_> = points.iter().map(|p| serial.measure(p)).collect();
+        for incremental in [false, true] {
+            let mut batched = engine();
+            batched.set_incremental(incremental);
+            assert_eq!(batched.measure_batch(&points), expected);
+            let reuse = batched.subsystem().incremental_use();
+            assert_eq!(reuse.total_hits() > 0, incremental, "{reuse:?}");
+        }
+    }
+
+    #[test]
+    fn forks_inherit_the_incremental_mode() {
+        let mut e = engine();
+        assert!(!e.fork().subsystem().incremental());
+        e.set_incremental(true);
+        let mut fork = e.fork();
+        assert!(fork.subsystem().incremental());
+        // And the fork still measures identically to its parent.
+        let p = SearchPoint::benign();
+        assert_eq!(e.measure(&p), fork.measure(&p));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::engine::WorkloadEngine;
 use crate::monitor::{AnomalyMonitor, AnomalyVerdict};
 use crate::space::{FabricPoint, SearchPoint};
 use collie_rnic::fabric::FabricMeasurement;
-use collie_rnic::subsystem::{Measurement, Subsystem};
+use collie_rnic::subsystem::{IncrementalUse, Measurement, Subsystem};
 use collie_rnic::subsystems::SubsystemId;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -338,6 +338,11 @@ pub struct EvalProfile {
     /// Wall-clock microseconds of each flow-model compute this evaluator
     /// ran itself.
     pub compute_micros: Vec<u64>,
+    /// Incremental stage-reuse counters of the underlying subsystem (all
+    /// zero when incremental evaluation is off). Like [`SharedUse`] these
+    /// *describe* the execution; the bit-identity contract lives in
+    /// `stats` and the measurements themselves.
+    pub incremental: IncrementalUse,
 }
 
 /// The matrix-scoped evaluation context: one bundle of [`SharedCache`]s
@@ -437,6 +442,15 @@ impl Default for EvalContext {
 pub trait SpecWorker<P, M>: Send {
     /// Compute the measurement for `point` from scratch.
     fn compute(&mut self, point: &P) -> M;
+
+    /// Compute a whole batch, returning one measurement per point in
+    /// order. Semantically identical to calling [`SpecWorker::compute`]
+    /// point by point (the default does exactly that); workers backed by
+    /// an incremental engine override this so the batch shares stage
+    /// results.
+    fn compute_batch(&mut self, points: &[P]) -> Vec<M> {
+        points.iter().map(|point| self.compute(point)).collect()
+    }
 }
 
 /// Everything a campaign loop needs to evaluate speculatively: the shared
@@ -456,6 +470,10 @@ struct ForkedEngineWorker {
 impl SpecWorker<SearchPoint, Measurement> for ForkedEngineWorker {
     fn compute(&mut self, point: &SearchPoint) -> Measurement {
         self.engine.measure(point)
+    }
+
+    fn compute_batch(&mut self, points: &[SearchPoint]) -> Vec<Measurement> {
+        self.engine.measure_batch(points)
     }
 }
 
@@ -561,6 +579,16 @@ impl<'e> Evaluator<'e> {
         (*measurement).clone()
     }
 
+    /// Measure a whole batch of points in order, each through the memo
+    /// cache exactly as [`Evaluator::measure`] would — the stats, the
+    /// cache contents, and the returned measurements are identical to the
+    /// point-by-point loop. The batch exists so callers holding a whole
+    /// lookahead set can hand it over in one call and an incremental
+    /// engine underneath can share stage results across the set.
+    pub fn measure_batch(&mut self, points: &[SearchPoint]) -> Vec<Measurement> {
+        points.iter().map(|point| self.measure(point)).collect()
+    }
+
     /// The paper's §6 measurement procedure through the cache: sample the
     /// experiment `samples_per_iteration` times (repeats are cache hits)
     /// and assess the final sample. The engine is deterministic, so every
@@ -617,6 +645,7 @@ impl<'e> Evaluator<'e> {
             stats: self.stats,
             shared: self.shared_use,
             compute_micros: self.compute_micros.clone(),
+            incremental: self.engine.subsystem().incremental_use(),
         }
     }
 
@@ -718,6 +747,47 @@ mod tests {
         evaluator.measure(&p);
         assert_eq!(evaluator.stats(), EvalStats { hits: 0, misses: 2 });
         assert_eq!(evaluator.cached_points(), 2);
+    }
+
+    #[test]
+    fn measure_batch_is_the_point_by_point_loop_through_the_cache() {
+        let mut reference = WorkloadEngine::for_catalog(SubsystemId::F);
+        let points = [
+            SearchPoint::benign(),
+            anomalous_point(),
+            SearchPoint::benign(),
+        ];
+        let expected: Vec<_> = points.iter().map(|p| reference.measure(p)).collect();
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = Evaluator::new(&mut engine);
+        assert_eq!(evaluator.measure_batch(&points), expected);
+        // The repeated benign point is a cache hit, exactly as in a loop.
+        assert_eq!(evaluator.stats(), EvalStats { hits: 1, misses: 2 });
+        assert_eq!(evaluator.cached_points(), 2);
+    }
+
+    #[test]
+    fn spec_workers_batch_and_serial_computes_agree() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        let mut evaluator = Evaluator::new(&mut engine);
+        let mut workers = evaluator.speculation(1).expect("memoized").workers;
+        let points = vec![SearchPoint::benign(), anomalous_point()];
+        let batch = workers[0].compute_batch(&points);
+        let serial: Vec<_> = points.iter().map(|p| workers[0].compute(p)).collect();
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn profile_reports_the_engines_incremental_reuse() {
+        let mut engine = WorkloadEngine::for_catalog(SubsystemId::F);
+        engine.set_incremental(true);
+        let mut evaluator = Evaluator::uncached(&mut engine);
+        let p = SearchPoint::benign();
+        let _ = evaluator.measure(&p);
+        let _ = evaluator.measure(&p);
+        let profile = evaluator.profile();
+        assert!(profile.incremental.total_hits() > 0);
+        assert!(profile.incremental.total_misses() > 0);
     }
 
     #[test]

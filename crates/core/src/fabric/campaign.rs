@@ -373,6 +373,7 @@ pub fn run_fabric_search_in_context(
         ..config.clone()
     };
     let monitor = AnomalyMonitor::new();
+    engine.set_incremental(config.incremental);
     let mut evaluator = if config.memoize {
         FabricEvaluator::new(engine)
     } else {

@@ -96,6 +96,12 @@ impl FabricEngine {
         &self.engine
     }
 
+    /// Toggle incremental evaluation on the wrapped two-host engine (see
+    /// [`WorkloadEngine::set_incremental`]). Forks inherit the mode.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.engine.set_incremental(enabled);
+    }
+
     /// The benign-fabric reference measurement.
     pub fn baseline(&self) -> &Measurement {
         &self.baseline
@@ -362,6 +368,7 @@ impl<'e> FabricEvaluator<'e> {
             stats: self.stats,
             shared: self.shared_use,
             compute_micros: self.compute_micros.clone(),
+            incremental: self.engine.subsystem().incremental_use(),
         }
     }
 

@@ -78,9 +78,16 @@ struct SpecState<D: SearchDomain> {
     /// How many proposals the planners keep in flight.
     lookahead: usize,
     shared: Arc<SharedCache<D::Point, D::Measurement>>,
-    /// Sending half of the work queue; dropped on teardown so workers exit
-    /// their receive loops.
-    tx: Option<mpsc::Sender<D::Point>>,
+    /// Sending half of the work queue. Planners buffer their predicted
+    /// points into `pending` and [`CampaignLoop::spec_flush`] ships them
+    /// as *batches* (one `Vec` per send), so a worker dequeues a whole
+    /// chunk of the lookahead set and evaluates it through
+    /// [`SpecWorker::compute_batch`](crate::eval::SpecWorker::compute_batch)
+    /// — on an incremental engine the chunk shares stage results. Dropped
+    /// on teardown so workers exit their receive loops.
+    tx: Option<mpsc::Sender<Vec<D::Point>>>,
+    /// Points queued by the current planning pass, not yet shipped.
+    pending: Vec<D::Point>,
     handles: Vec<JoinHandle<()>>,
     /// Every point ever queued, so re-planning the same future is free.
     sent: HashSet<D::Point>,
@@ -215,7 +222,7 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
         let Some(parts) = self.domain.speculation(threads) else {
             return;
         };
-        let (tx, rx) = mpsc::channel::<D::Point>();
+        let (tx, rx) = mpsc::channel::<Vec<D::Point>>();
         let rx = Arc::new(parking_lot::Mutex::new(rx));
         let handles = parts
             .workers
@@ -227,9 +234,20 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
                     // The guard is dropped at the end of the statement, so
                     // only the dequeue is serialized, not the compute.
                     let received = rx.lock().recv();
-                    let Ok(point) = received else { break };
-                    if let Claim::Mine = shared.try_claim(&point) {
-                        let measurement = worker.compute(&point);
+                    let Ok(batch) = received else { break };
+                    // Claim first, then batch-compute only what this
+                    // worker owns: claim/fulfill stay per point, so the
+                    // cache protocol (and the committed stream reading
+                    // through it) is unchanged by batching.
+                    let claimed: Vec<D::Point> = batch
+                        .into_iter()
+                        .filter(|point| matches!(shared.try_claim(point), Claim::Mine))
+                        .collect();
+                    if claimed.is_empty() {
+                        continue;
+                    }
+                    let measurements = worker.compute_batch(&claimed);
+                    for (point, measurement) in claimed.into_iter().zip(measurements) {
                         shared.fulfill(point, measurement);
                     }
                 })
@@ -239,6 +257,7 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
             lookahead,
             shared: parts.shared,
             tx: Some(tx),
+            pending: Vec::new(),
             handles,
             sent: HashSet::new(),
             recent: VecDeque::new(),
@@ -289,20 +308,44 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
                 .any(|m| !D::mfs_is_empty(m) && D::mfs_matches(m, point))
     }
 
-    /// Queue one predicted proposal for the workers (deduplicated against
-    /// everything already queued or computed).
+    /// Buffer one predicted proposal for the workers (deduplicated against
+    /// everything already queued or computed). Nothing is shipped until
+    /// [`CampaignLoop::spec_flush`] runs at the end of the planning pass,
+    /// so one pass's predictions travel as batches rather than as a point
+    /// per channel send.
     fn spec_send(&mut self, point: D::Point) {
         let Some(spec) = &mut self.spec else { return };
         if spec.sent.contains(&point) || spec.shared.contains(&point) {
             return;
         }
-        let Some(tx) = &spec.tx else { return };
-        if tx.send(point.clone()).is_ok() {
-            spec.sent.insert(point.clone());
-            spec.recent.push_back(point);
-            while spec.recent.len() > spec.lookahead {
-                spec.recent.pop_front();
-            }
+        spec.sent.insert(point.clone());
+        spec.recent.push_back(point.clone());
+        while spec.recent.len() > spec.lookahead {
+            spec.recent.pop_front();
+        }
+        spec.pending.push(point);
+    }
+
+    /// Ship the buffered predictions of the planning pass that just ended,
+    /// split into one chunk per worker thread so the batch win (shared
+    /// stage results on an incremental engine) does not serialize the
+    /// lookahead set onto a single worker. A planner that buffered nothing
+    /// flushes nothing; unflushed points at teardown are discarded
+    /// speculation, which is always safe.
+    fn spec_flush(&mut self) {
+        let Some(spec) = &mut self.spec else { return };
+        if spec.pending.is_empty() {
+            return;
+        }
+        let Some(tx) = &spec.tx else {
+            spec.pending.clear();
+            return;
+        };
+        let pending = std::mem::take(&mut spec.pending);
+        let workers = spec.handles.len().max(1);
+        let chunk = pending.len().div_ceil(workers);
+        for batch in pending.chunks(chunk) {
+            let _ = tx.send(batch.to_vec());
         }
     }
 
@@ -357,6 +400,7 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
             }
             self.spec_send(point);
         }
+        self.spec_flush();
     }
 
     /// Speculation planner for the §7.2 ranking probes: random points
@@ -374,6 +418,7 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
                 self.spec_send(point);
             }
         }
+        self.spec_flush();
     }
 
     /// Advance one annealing-simulation branch by one committed-loop step,
@@ -536,6 +581,7 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
                 }
             }
         }
+        self.spec_flush();
     }
 
     /// Speculation planner for the BO seeding phase: four random draws,
@@ -558,6 +604,7 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
             }
             self.spec_send(point);
         }
+        self.spec_flush();
     }
 
     /// Speculation planner for the BO rounds: replays the acquisition
@@ -658,6 +705,7 @@ impl<'c, D: SearchDomain> CampaignLoop<'c, D> {
             let value = self.domain.signal_value(&m, target);
             sim_history.push((self.domain.surrogate_features(&chosen), chosen, value));
         }
+        self.spec_flush();
     }
 
     /// The campaign's configuration.

@@ -146,6 +146,20 @@ pub struct SearchConfig {
     /// default depth) so CI can run the whole suite speculatively.
     #[serde(skip)]
     pub speculation: Option<usize>,
+    /// Whether the engine's incremental evaluation path is enabled: the
+    /// subsystem caches per-flow rule reports and per-direction fluid
+    /// outcomes so a one-knob mutation recomputes only the stages the
+    /// changed flow feeds (DESIGN.md §11). Purely an execution strategy —
+    /// cached stage results are bit-identical to recomputed ones, so the
+    /// campaign output is byte-for-byte the same either way — hence, like
+    /// [`SearchConfig::speculation`], the knob is excluded from
+    /// serialization and cannot leak into golden fixtures.
+    ///
+    /// Defaults to on; the `COLLIE_INCREMENTAL` environment variable
+    /// disables it (`0`, `false`, or `off`) so CI can run the whole suite
+    /// through the from-scratch path.
+    #[serde(skip)]
+    pub incremental: bool,
 }
 
 impl SearchConfig {
@@ -167,6 +181,7 @@ impl SearchConfig {
             stuck_skip_limit: Some(24),
             identity_dedup: true,
             speculation: SearchConfig::default_speculation(),
+            incremental: SearchConfig::default_incremental(),
         }
     }
 
@@ -232,6 +247,15 @@ impl SearchConfig {
         self
     }
 
+    /// Enable or disable the engine's incremental evaluation path (see
+    /// [`SearchConfig::incremental`]). Tests that assert stage-reuse
+    /// counters must pin the toggle here rather than rely on the
+    /// environment-dependent default.
+    pub fn with_incremental(mut self, incremental: bool) -> SearchConfig {
+        self.incremental = incremental;
+        self
+    }
+
     /// The pre-kernel two-host campaign semantics: no stuck-walk escape
     /// and containment-only discovery dedup. The golden-trace suite runs
     /// the fig4/fig5 grids in this mode to prove the kernel unification
@@ -279,6 +303,15 @@ impl SearchConfig {
     pub fn default_speculation() -> Option<usize> {
         parse_speculation(std::env::var("COLLIE_SPECULATION").ok().as_deref())
     }
+
+    /// The constructor default for [`SearchConfig::incremental`]: on,
+    /// unless the `COLLIE_INCREMENTAL` environment variable disables it
+    /// (`0`, `false`, or `off`) so CI can run the whole suite through the
+    /// from-scratch path. Exposed so tests can derive their expectation
+    /// from the one parser instead of re-implementing the rule.
+    pub fn default_incremental() -> bool {
+        parse_incremental(std::env::var("COLLIE_INCREMENTAL").ok().as_deref())
+    }
 }
 
 /// The lookahead depth `COLLIE_SPECULATION=on` selects.
@@ -314,6 +347,23 @@ fn parse_speculation(value: Option<&str>) -> Option<usize> {
 /// runner. Disable values are matched case-insensitively so an operator's
 /// `COLLIE_MEMOIZE=OFF` cannot silently leave the cache on.
 fn parse_memoize(value: Option<&str>) -> bool {
+    match value {
+        Some(value) => {
+            let value = value.trim();
+            !["0", "false", "off"]
+                .iter()
+                .any(|disable| value.eq_ignore_ascii_case(disable))
+        }
+        None => true,
+    }
+}
+
+/// `COLLIE_INCREMENTAL` parser, separated from the env read so it can be
+/// tested without mutating process-global state under a parallel test
+/// runner. Same grammar as [`parse_memoize`]: disable values are matched
+/// case-insensitively so an operator's `COLLIE_INCREMENTAL=OFF` cannot
+/// silently leave the delta caches on.
+fn parse_incremental(value: Option<&str>) -> bool {
     match value {
         Some(value) => {
             let value = value.trim();
@@ -361,6 +411,7 @@ pub fn run_search_in_context(
     shared: Option<std::sync::Arc<crate::eval::SharedCache<SearchPoint, Measurement>>>,
 ) -> (SearchOutcome, crate::eval::EvalProfile) {
     let monitor = AnomalyMonitor::new();
+    engine.set_incremental(config.incremental);
     let mut evaluator = if config.memoize {
         Evaluator::new(engine)
     } else {
@@ -537,6 +588,80 @@ mod tests {
                 "COLLIE_SPECULATION={value:?}"
             );
         }
+    }
+
+    #[test]
+    fn incremental_default_honours_the_env_toggle_values() {
+        // CI exports COLLIE_INCREMENTAL=0 for the from-scratch matrix leg;
+        // this pins the parser without touching process-global state.
+        for (value, expected) in [
+            (Some("0"), false),
+            (Some("false"), false),
+            (Some("off"), false),
+            (Some("OFF"), false),
+            (Some("False"), false),
+            (Some(" 0 "), false),
+            (Some("1"), true),
+            (Some("on"), true),
+            (None, true),
+        ] {
+            assert_eq!(
+                parse_incremental(value),
+                expected,
+                "COLLIE_INCREMENTAL={value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_knob_does_not_change_the_outcome_or_the_stats() {
+        // Facade-level statement of the tentpole contract: cached stage
+        // results substitute bit-identically for recomputed ones, so the
+        // public entry point's outcome and evaluator statistics are
+        // byte-for-byte equal with the knob on or off.
+        let space = SearchSpace::for_host(&SubsystemId::F.host());
+        for strategy in [
+            SearchStrategy::Random,
+            SearchStrategy::SimulatedAnnealing,
+            SearchStrategy::Bayesian,
+        ] {
+            let config = SearchConfig {
+                strategy,
+                ..SearchConfig::collie(17)
+            }
+            .with_budget(SimDuration::from_secs(3600))
+            .with_memoization(true)
+            .with_speculation(None)
+            .with_incremental(false);
+            let mut scratch_engine = WorkloadEngine::for_catalog(SubsystemId::F);
+            let scratch = run_search_with_stats(&mut scratch_engine, &space, &config);
+            let mut inc_engine = WorkloadEngine::for_catalog(SubsystemId::F);
+            let incremental = run_search_with_stats(
+                &mut inc_engine,
+                &space,
+                &config.clone().with_incremental(true),
+            );
+            assert_eq!(scratch, incremental, "{strategy:?}");
+            assert!(
+                inc_engine.subsystem().incremental_use().total_hits() > 0,
+                "{strategy:?}: the incremental leg never reused a stage"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_knob_never_serializes_into_fixtures() {
+        // Same rationale as the speculation knob: an execution detail must
+        // not change a recorded fixture, and deserialized configs fall
+        // back to the from-scratch path.
+        let config = SearchConfig::collie(1).with_incremental(true);
+        let json = serde_json::to_string(&config).unwrap();
+        assert!(
+            !json.contains("incremental"),
+            "knob leaked into JSON: {json}"
+        );
+        let back: SearchConfig = serde_json::from_str(&json).unwrap();
+        assert!(!back.incremental);
     }
 
     #[test]

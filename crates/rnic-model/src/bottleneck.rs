@@ -65,7 +65,7 @@ pub enum Effect {
 }
 
 /// The outcome of evaluating one rule against one flow.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StressReport {
     /// Stable rule identifier; rule `collie/<n>` reproduces paper anomaly
     /// `#<n>`.

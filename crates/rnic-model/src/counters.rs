@@ -8,7 +8,7 @@
 //! it only minimises the performance ones and maximises the diagnostic
 //! ones).
 
-use collie_sim::counters::{CounterHandle, CounterKind, CounterRegistry};
+use collie_sim::counters::{CounterHandle, CounterKind, CounterRegistry, CounterWriter};
 
 /// Performance-counter names.
 pub mod perf {
@@ -64,6 +64,17 @@ pub mod diag {
         PCIE_ORDERING_STALL,
         INTERNAL_INCAST,
     ];
+
+    /// Position of a diagnostic counter name in [`ALL`], used to accumulate
+    /// per-counter values in a plain array during evaluation. Names that
+    /// come from the constants above compare by pointer before falling back
+    /// to a byte compare.
+    pub fn index_of(name: &str) -> Option<usize> {
+        ALL.iter().position(|candidate| {
+            (std::ptr::eq(candidate.as_ptr(), name.as_ptr()) && candidate.len() == name.len())
+                || *candidate == name
+        })
+    }
 }
 
 /// Fabric gauge names: cross-host observables of a multi-host campaign.
@@ -99,52 +110,93 @@ pub mod fabric {
 }
 
 /// Handles to every registered counter of one subsystem.
+///
+/// Each handle is stored next to the `&'static` name it was registered
+/// under, so the by-name entry points resolve with a plain string compare
+/// instead of asking the handle (which takes the registry lock and clones
+/// the name) — `Subsystem::evaluate` goes through these on every
+/// experiment.
 #[derive(Debug, Clone)]
 pub struct RnicCounters {
-    perf_handles: Vec<CounterHandle>,
-    diag_handles: Vec<CounterHandle>,
+    registry: CounterRegistry,
+    perf_handles: Vec<(&'static str, CounterHandle)>,
+    diag_handles: Vec<(&'static str, CounterHandle)>,
 }
 
 impl RnicCounters {
     /// Register the full counter set into `registry`.
     pub fn register(registry: &CounterRegistry) -> Self {
         RnicCounters {
+            registry: registry.clone(),
             perf_handles: perf::ALL
                 .iter()
-                .map(|name| registry.register(name, CounterKind::Performance))
+                .map(|name| (*name, registry.register(name, CounterKind::Performance)))
                 .collect(),
             diag_handles: diag::ALL
                 .iter()
-                .map(|name| registry.register(name, CounterKind::Diagnostic))
+                .map(|name| (*name, registry.register(name, CounterKind::Diagnostic)))
                 .collect(),
         }
     }
 
     /// Set a performance counter by name (no-op for unknown names).
     pub fn set_perf(&self, name: &str, value: f64) {
-        if let Some(h) = self.perf_handles.iter().find(|h| h.name() == name) {
+        if let Some((_, h)) = self.perf_handles.iter().find(|(n, _)| *n == name) {
             h.set(value);
         }
     }
 
     /// Set a diagnostic counter by name (no-op for unknown names).
     pub fn set_diag(&self, name: &str, value: f64) {
-        if let Some(h) = self.diag_handles.iter().find(|h| h.name() == name) {
+        if let Some((_, h)) = self.diag_handles.iter().find(|(n, _)| *n == name) {
             h.set(value);
         }
     }
 
     /// Add to a diagnostic counter by name (no-op for unknown names).
     pub fn add_diag(&self, name: &str, delta: f64) {
-        if let Some(h) = self.diag_handles.iter().find(|h| h.name() == name) {
+        if let Some((_, h)) = self.diag_handles.iter().find(|(n, _)| *n == name) {
             h.add(delta);
         }
     }
 
-    /// Zero every counter (between experiments).
+    /// Zero every counter (between experiments), under one lock.
     pub fn reset(&self) {
-        for h in self.perf_handles.iter().chain(self.diag_handles.iter()) {
-            h.set(0.0);
+        let mut writer = self.registry.writer();
+        for (_, h) in self.perf_handles.iter().chain(self.diag_handles.iter()) {
+            writer.set(h, 0.0);
+        }
+    }
+
+    /// Start a batched update: every set/add through the returned batch is
+    /// applied under a single registry lock acquisition. Value-for-value
+    /// identical to the unbatched entry points.
+    pub fn batch(&self) -> RnicCounterBatch<'_> {
+        RnicCounterBatch {
+            counters: self,
+            writer: self.registry.writer(),
+        }
+    }
+}
+
+/// One locked batch of counter updates (see [`RnicCounters::batch`]).
+pub struct RnicCounterBatch<'a> {
+    counters: &'a RnicCounters,
+    writer: CounterWriter<'a>,
+}
+
+impl RnicCounterBatch<'_> {
+    /// Batched [`RnicCounters::set_perf`].
+    pub fn set_perf(&mut self, name: &str, value: f64) {
+        if let Some((_, h)) = self.counters.perf_handles.iter().find(|(n, _)| *n == name) {
+            self.writer.set(h, value);
+        }
+    }
+
+    /// Batched [`RnicCounters::add_diag`].
+    pub fn add_diag(&mut self, name: &str, delta: f64) {
+        if let Some((_, h)) = self.counters.diag_handles.iter().find(|(n, _)| *n == name) {
+            self.writer.add(h, delta);
         }
     }
 }
@@ -181,6 +233,24 @@ mod tests {
         c.set_perf("perf/nope", 1.0);
         c.set_diag("diag/nope", 1.0);
         assert!(registry.get("perf/nope").is_none());
+    }
+
+    #[test]
+    fn batched_updates_match_the_unbatched_entry_points() {
+        let registry = CounterRegistry::new();
+        let c = RnicCounters::register(&registry);
+        {
+            let mut batch = c.batch();
+            batch.set_perf(perf::TX_BYTES_PER_SEC, 2e9);
+            batch.add_diag(diag::MTT_CACHE_MISS, 4.0);
+            batch.add_diag(diag::MTT_CACHE_MISS, 1.5);
+            batch.set_perf("perf/nope", 1.0); // unknown names stay no-ops
+            batch.add_diag("diag/nope", 1.0);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.value(perf::TX_BYTES_PER_SEC), Some(2e9));
+        assert_eq!(snap.value(diag::MTT_CACHE_MISS), Some(5.5));
+        assert!(snap.value("perf/nope").is_none());
     }
 
     #[test]

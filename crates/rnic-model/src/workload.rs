@@ -219,7 +219,10 @@ impl MessagePattern {
 }
 
 /// One traffic flow: a group of identically configured QPs in one direction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// `Eq`/`Hash` are exact (no floating-point fields), which is what lets the
+/// subsystem's incremental evaluation path key per-flow stage results by the
+/// flow itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FlowSpec {
     /// Payload direction.
     pub direction: Direction,

@@ -41,7 +41,7 @@ impl fmt::Display for CounterKind {
 
 #[derive(Debug)]
 struct CounterCell {
-    name: String,
+    name: Arc<str>,
     kind: CounterKind,
     value: f64,
 }
@@ -50,6 +50,9 @@ struct CounterCell {
 struct RegistryInner {
     cells: Vec<CounterCell>,
     by_name: BTreeMap<String, usize>,
+    /// Cell indices in sorted-name order, maintained on registration, so a
+    /// snapshot is one pre-sized pass instead of a per-call sort.
+    sorted: Vec<usize>,
 }
 
 /// A registry of named counters shared by all components of one simulated
@@ -71,9 +74,62 @@ pub struct CounterHandle {
 }
 
 /// An immutable snapshot of every counter at one instant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+///
+/// Stored as a name-sorted vector whose names are shared (`Arc<str>`) with
+/// the registry cells: taking or cloning a snapshot costs one vector
+/// allocation and a refcount bump per counter, not a string allocation per
+/// counter — snapshots ride along on every `Measurement`, so this is on the
+/// evaluator's hot path. The serialised form is unchanged: it round-trips
+/// through the same sorted name → `(kind, value)` map the previous
+/// `BTreeMap` representation produced, byte for byte.
+#[derive(Debug, Clone, Default)]
 pub struct CounterSnapshot {
+    values: Vec<(Arc<str>, CounterKind, f64)>,
+}
+
+impl PartialEq for CounterSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| a.0 == b.0 && a.1 == b.1 && a.2 == b.2)
+    }
+}
+
+/// The serialised shape of [`CounterSnapshot`] — identical to its previous
+/// in-memory representation, so existing golden fixtures parse and replay
+/// byte-for-byte.
+#[derive(Serialize, Deserialize)]
+struct CounterSnapshotWire {
     values: BTreeMap<String, (CounterKind, f64)>,
+}
+
+impl Serialize for CounterSnapshot {
+    fn to_value(&self) -> serde::Value {
+        CounterSnapshotWire {
+            values: self
+                .values
+                .iter()
+                .map(|(n, k, v)| (n.to_string(), (*k, *v)))
+                .collect(),
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for CounterSnapshot {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let wire = CounterSnapshotWire::from_value(value)?;
+        Ok(CounterSnapshot {
+            values: wire
+                .values
+                .into_iter()
+                .map(|(n, (k, v))| (Arc::from(n.as_str()), k, v))
+                .collect(),
+        })
+    }
 }
 
 impl CounterRegistry {
@@ -95,11 +151,12 @@ impl CounterRegistry {
         }
         let index = inner.cells.len();
         inner.cells.push(CounterCell {
-            name: name.to_string(),
+            name: Arc::from(name),
             kind,
             value: 0.0,
         });
         inner.by_name.insert(name.to_string(), index);
+        inner.sorted = inner.by_name.values().copied().collect();
         CounterHandle {
             registry: self.clone(),
             index,
@@ -123,7 +180,7 @@ impl CounterRegistry {
             .cells
             .iter()
             .filter(|c| c.kind == kind)
-            .map(|c| c.name.clone())
+            .map(|c| c.name.to_string())
             .collect();
         names.sort();
         names
@@ -141,13 +198,12 @@ impl CounterRegistry {
     /// Snapshot every counter.
     pub fn snapshot(&self) -> CounterSnapshot {
         let inner = self.inner.read();
-        CounterSnapshot {
-            values: inner
-                .cells
-                .iter()
-                .map(|c| (c.name.clone(), (c.kind, c.value)))
-                .collect(),
+        let mut values = Vec::with_capacity(inner.sorted.len());
+        for &index in &inner.sorted {
+            let cell = &inner.cells[index];
+            values.push((cell.name.clone(), cell.kind, cell.value));
         }
+        CounterSnapshot { values }
     }
 
     /// Total number of registered counters.
@@ -158,6 +214,50 @@ impl CounterRegistry {
     /// True if no counters are registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// A write guard over the whole registry: applies several counter updates
+/// under one lock acquisition. The per-experiment reset-and-publish sequence
+/// of a subsystem touches every registered counter; taking and releasing
+/// the registry lock once per update dominated that hot loop, so the
+/// evaluator batches the sequence through one of these instead. Updates
+/// through the guard are value-for-value identical to the equivalent
+/// [`CounterHandle`] calls.
+pub struct CounterWriter<'a> {
+    registry: &'a CounterRegistry,
+    inner: parking_lot::RwLockWriteGuard<'a, RegistryInner>,
+}
+
+impl CounterWriter<'_> {
+    fn cell(&mut self, handle: &CounterHandle) -> &mut CounterCell {
+        debug_assert!(
+            Arc::ptr_eq(&self.registry.inner, &handle.registry.inner),
+            "counter handle used with a writer of a different registry"
+        );
+        &mut self.inner.cells[handle.index]
+    }
+
+    /// Batched [`CounterHandle::set`]: overwrite, clamped at zero.
+    pub fn set(&mut self, handle: &CounterHandle, value: f64) {
+        self.cell(handle).value = value.max(0.0);
+    }
+
+    /// Batched [`CounterHandle::add`]: accumulate, clamped at zero.
+    pub fn add(&mut self, handle: &CounterHandle, delta: f64) {
+        let cell = self.cell(handle);
+        cell.value = (cell.value + delta).max(0.0);
+    }
+}
+
+impl CounterRegistry {
+    /// Take the registry write lock once and return a batched writer for
+    /// applying a sequence of updates through handles of this registry.
+    pub fn writer(&self) -> CounterWriter<'_> {
+        CounterWriter {
+            registry: self,
+            inner: self.inner.write(),
+        }
     }
 }
 
@@ -189,7 +289,9 @@ impl CounterHandle {
 
     /// Counter name.
     pub fn name(&self) -> String {
-        self.registry.inner.read().cells[self.index].name.clone()
+        self.registry.inner.read().cells[self.index]
+            .name
+            .to_string()
     }
 
     /// Counter kind.
@@ -199,19 +301,25 @@ impl CounterHandle {
 }
 
 impl CounterSnapshot {
+    fn position(&self, name: &str) -> Option<usize> {
+        self.values
+            .binary_search_by(|(n, _, _)| (**n).cmp(name))
+            .ok()
+    }
+
     /// Value of a named counter, if present.
     pub fn value(&self, name: &str) -> Option<f64> {
-        self.values.get(name).map(|(_, v)| *v)
+        self.position(name).map(|i| self.values[i].2)
     }
 
     /// Kind of a named counter, if present.
     pub fn kind(&self, name: &str) -> Option<CounterKind> {
-        self.values.get(name).map(|(k, _)| *k)
+        self.position(name).map(|i| self.values[i].1)
     }
 
     /// Iterate over `(name, kind, value)` triples in sorted name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, CounterKind, f64)> {
-        self.values.iter().map(|(n, (k, v))| (n.as_str(), *k, *v))
+        self.values.iter().map(|(n, k, v)| (&**n, *k, *v))
     }
 
     /// All names of a given kind.
@@ -233,10 +341,17 @@ impl CounterSnapshot {
     }
 
     /// Build a snapshot directly from `(name, kind, value)` triples
-    /// (used by tests and by averaged multi-sample measurements).
+    /// (used by tests and by averaged multi-sample measurements). Names are
+    /// deduplicated and sorted exactly as a map insert sequence would be:
+    /// the last entry for a repeated name wins.
     pub fn from_triples<I: IntoIterator<Item = (String, CounterKind, f64)>>(iter: I) -> Self {
+        let map: BTreeMap<String, (CounterKind, f64)> =
+            iter.into_iter().map(|(n, k, v)| (n, (k, v))).collect();
         CounterSnapshot {
-            values: iter.into_iter().map(|(n, k, v)| (n, (k, v))).collect(),
+            values: map
+                .into_iter()
+                .map(|(n, (k, v))| (Arc::from(n.as_str()), k, v))
+                .collect(),
         }
     }
 
@@ -252,12 +367,10 @@ impl CounterSnapshot {
                 entry.2 += 1;
             }
         }
-        CounterSnapshot {
-            values: sums
-                .into_iter()
-                .map(|(n, (k, sum, cnt))| (n, (k, sum / cnt as f64)))
-                .collect(),
-        }
+        CounterSnapshot::from_triples(
+            sums.into_iter()
+                .map(|(n, (k, sum, cnt))| (n, k, sum / cnt as f64)),
+        )
     }
 }
 
@@ -343,6 +456,26 @@ mod tests {
         let avg = CounterSnapshot::average(&[a, b]);
         assert_eq!(avg.value("x"), Some(3.0));
         assert!(CounterSnapshot::average(&[]).is_empty());
+    }
+
+    #[test]
+    fn batched_writer_matches_per_handle_updates() {
+        let reg = CounterRegistry::new();
+        let gauge = reg.register("gauge", CounterKind::Performance);
+        let acc = reg.register("acc", CounterKind::Diagnostic);
+        {
+            let mut w = reg.writer();
+            w.set(&gauge, 5.0);
+            w.add(&acc, 2.0);
+            w.add(&acc, -10.0); // clamped at zero, like CounterHandle::add
+            w.set(&gauge, -1.0); // clamped at zero, like CounterHandle::set
+        }
+        assert_eq!(gauge.value(), 0.0);
+        assert_eq!(acc.value(), 0.0);
+        let mut w = reg.writer();
+        w.add(&acc, 3.5);
+        drop(w);
+        assert_eq!(acc.value(), 3.5);
     }
 
     #[test]

@@ -364,6 +364,19 @@ fn with_execution(
         .collect()
 }
 
+/// The same cells with the engine's incremental evaluation path pinned
+/// explicitly (rather than inherited from `COLLIE_INCREMENTAL`).
+fn with_incremental(cells: &[CampaignSpec], incremental: bool) -> Vec<CampaignSpec> {
+    cells
+        .iter()
+        .cloned()
+        .map(|cell| CampaignSpec {
+            config: cell.config.with_incremental(incremental),
+            ..cell
+        })
+        .collect()
+}
+
 /// Render a two-host grid to its canonical golden JSON.
 fn render_two_host(cells: &[CampaignSpec]) -> String {
     serde_json::to_string_pretty(&run_two_host_grid(cells)).expect("golden cells serialize")
@@ -485,6 +498,56 @@ fn golden_grids_are_cache_sharing_independent() {
         .collect();
     let replay = serde_json::to_string_pretty(&golden).expect("golden cells serialize");
     assert_same_stream("golden_fig7_bo.json (shared cache off)", &oracle, &replay);
+}
+
+#[test]
+fn golden_grids_are_incremental_independent() {
+    // The PR 8 tentpole's differential statement: the per-flow and
+    // per-direction delta caches are a pure execution optimisation, so a
+    // grid replayed with incremental evaluation on — alone or composed
+    // with memoization and speculative lookahead — must reproduce the
+    // from-scratch stream byte for byte. The oracle pins incremental
+    // *off* explicitly so the test is meaningful under both settings of
+    // the COLLIE_INCREMENTAL CI matrix; one second-generation grid per
+    // stack keeps the runtime in budget, and the full fixture set runs
+    // whichever mode the environment selects in the fixture tests above.
+    let compositions = [(true, None), (true, Some(4)), (false, Some(4))];
+
+    let cells = fig4_cells();
+    let oracle = render_two_host(&with_incremental(
+        &with_execution(&cells, true, None),
+        false,
+    ));
+    for (memoize, speculation) in compositions {
+        let legs = with_incremental(&with_execution(&cells, memoize, speculation), true);
+        let replay = render_two_host(&legs);
+        assert_same_stream(
+            &format!(
+                "golden_fig4_kernel.json (incremental, memoize {memoize}, \
+                 speculation {speculation:?})"
+            ),
+            &oracle,
+            &replay,
+        );
+    }
+
+    let cells = fig7_bo_cells();
+    let oracle = render_fabric(&with_incremental(
+        &with_execution(&cells, true, None),
+        false,
+    ));
+    for (memoize, speculation) in compositions {
+        let legs = with_incremental(&with_execution(&cells, memoize, speculation), true);
+        let replay = render_fabric(&legs);
+        assert_same_stream(
+            &format!(
+                "golden_fig7_bo.json (incremental, memoize {memoize}, \
+                 speculation {speculation:?})"
+            ),
+            &oracle,
+            &replay,
+        );
+    }
 }
 
 #[test]
