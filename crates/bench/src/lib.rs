@@ -19,6 +19,9 @@ pub use report::{latency_summary, validate_bench_report, BenchCache, BenchCell, 
 use collie_core::engine::WorkloadEngine;
 use collie_core::eval::{CacheTotals, EvalContext, EvalStats, SharedUse};
 use collie_core::fabric::{run_fabric_search_in_context, FabricEngine, FabricOutcome};
+use collie_core::remedy::{
+    DiscoveredTrigger, QualificationRecord, Qualifier, RegressionCatalog, RegressionFlag,
+};
 use collie_core::search::{run_search_in_context, SearchConfig, SearchOutcome};
 use collie_core::space::{FabricSpace, SearchSpace};
 use collie_rnic::subsystem::IncrementalUse;
@@ -142,7 +145,8 @@ where
 /// grow the cache without bound.
 pub const DEFAULT_MATRIX_CACHE_CAPACITY: usize = 65_536;
 
-/// How a campaign matrix runs: pool width and shared-cache policy.
+/// How a campaign matrix runs: pool width, shared-cache policy, and the
+/// optional verification phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatrixOptions {
     /// Worker-pool width (clamped like [`parallel_map`]).
@@ -154,15 +158,29 @@ pub struct MatrixOptions {
     pub share_cache: bool,
     /// Capacity of each shared per-subsystem cache; `None` is unbounded.
     pub cache_capacity: Option<usize>,
+    /// Append a qualification phase to the matrix report: every discovery
+    /// is handed to a [`Qualifier`] that verifies its mitigations one at a
+    /// time on fresh engine forks. Off by default — the phase runs strictly
+    /// after the campaign cells and never touches their engines, so cell
+    /// outcomes (and the golden-trace fixtures) are byte-identical either
+    /// way.
+    pub qualify: bool,
+    /// A previously-saved [`RegressionCatalog`] the qualification phase
+    /// consults: discoveries it already records as cleared are skipped
+    /// (counted, not re-reported), and every cleared record is replayed to
+    /// flag regressions. Ignored unless `qualify` is set.
+    pub regression_catalog: Option<RegressionCatalog>,
 }
 
 impl MatrixOptions {
-    /// Sharing on, default capacity bound.
+    /// Sharing on, default capacity bound, qualification off.
     pub fn new(workers: usize) -> MatrixOptions {
         MatrixOptions {
             workers,
             share_cache: true,
             cache_capacity: Some(DEFAULT_MATRIX_CACHE_CAPACITY),
+            qualify: false,
+            regression_catalog: None,
         }
     }
 
@@ -176,6 +194,20 @@ impl MatrixOptions {
     /// Override the shared-cache capacity (`None` removes the bound).
     pub fn with_cache_capacity(mut self, capacity: Option<usize>) -> MatrixOptions {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Append the qualification phase to the matrix report.
+    pub fn with_qualification(mut self) -> MatrixOptions {
+        self.qualify = true;
+        self
+    }
+
+    /// Consult (and regression-check) a previously-saved catalog during the
+    /// qualification phase. Implies [`MatrixOptions::with_qualification`].
+    pub fn with_regression_catalog(mut self, catalog: RegressionCatalog) -> MatrixOptions {
+        self.qualify = true;
+        self.regression_catalog = Some(catalog);
         self
     }
 }
@@ -204,13 +236,77 @@ pub struct MatrixCell<O> {
 }
 
 /// A finished campaign matrix: the cells in matrix order plus the shared
-/// cache's matrix-level totals.
+/// cache's matrix-level totals and, when requested, the verification phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatrixReport<O> {
     /// One entry per input cell, in input order.
     pub cells: Vec<MatrixCell<O>>,
     /// Matrix-level shared-cache totals (zero when sharing was off).
     pub cache: CacheTotals,
+    /// The qualification phase (`None` unless [`MatrixOptions::qualify`]
+    /// was set).
+    pub qualification: Option<QualificationPhase>,
+}
+
+/// The verification phase of a matrix run: every distinct discovery
+/// qualified through the remediation pipeline, plus the regression sweep of
+/// the pre-loaded catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualificationPhase {
+    /// One record per distinct qualified discovery (dedup by
+    /// [`DiscoveredTrigger::identity`] across all cells).
+    pub records: Vec<QualificationRecord>,
+    /// Discoveries skipped because the pre-loaded catalog already records
+    /// their identity as cleared under a mitigated fixture.
+    pub skipped_known_cleared: usize,
+    /// Discoveries that were not anomalous on a fresh two-host engine
+    /// (fabric-only effects have nothing to remediate at the subsystem
+    /// level).
+    pub not_reproduced: usize,
+    /// Previously-cleared catalog records that are anomalous again under
+    /// their recorded mitigations.
+    pub regressions: Vec<RegressionFlag>,
+}
+
+/// Qualify the deduped discoveries of a finished matrix (see
+/// [`MatrixOptions::qualify`]). Runs strictly after the campaign cells, on
+/// fresh engines, so it can never perturb cell outcomes.
+fn qualification_phase(
+    specs: &[CampaignSpec],
+    triggers_per_cell: Vec<Vec<DiscoveredTrigger>>,
+    options: &MatrixOptions,
+) -> QualificationPhase {
+    let catalog = options.regression_catalog.as_ref();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut skipped_known_cleared = 0usize;
+    let mut work: Vec<(SubsystemId, DiscoveredTrigger)> = Vec::new();
+    for (spec, triggers) in specs.iter().zip(triggers_per_cell) {
+        for trigger in triggers {
+            // The identity string is prefixed with the subsystem, so one
+            // set dedups across subsystems too.
+            let identity = trigger.identity(spec.subsystem);
+            if !seen.insert(identity.clone()) {
+                continue;
+            }
+            if catalog.is_some_and(|c| c.is_known_cleared(&identity)) {
+                skipped_known_cleared += 1;
+                continue;
+            }
+            work.push((spec.subsystem, trigger));
+        }
+    }
+    let qualified = parallel_map(&work, options.workers, |(subsystem, trigger)| {
+        let qualifier = Qualifier::for_subsystem(*subsystem);
+        let engine = WorkloadEngine::for_catalog(*subsystem);
+        qualifier.qualify(&engine, &trigger.point, &trigger.matched_rules)
+    });
+    let not_reproduced = qualified.iter().filter(|r| r.is_none()).count();
+    QualificationPhase {
+        records: qualified.into_iter().flatten().collect(),
+        skipped_known_cleared,
+        not_reproduced,
+        regressions: catalog.map(|c| c.check_regressions()).unwrap_or_default(),
+    }
 }
 
 fn matrix_context(options: &MatrixOptions) -> Option<EvalContext> {
@@ -227,11 +323,11 @@ fn matrix_context(options: &MatrixOptions) -> Option<EvalContext> {
 /// committing via its own local cache — outcomes and stats are therefore
 /// byte-identical to [`run_campaign_matrix`] with sharing off.
 pub fn run_campaign_matrix_report(
-    cells: &[CampaignSpec],
+    specs: &[CampaignSpec],
     options: &MatrixOptions,
 ) -> MatrixReport<SearchOutcome> {
     let context = matrix_context(options);
-    let cells = parallel_map(cells, options.workers, |cell| {
+    let cells = parallel_map(specs, options.workers, |cell| {
         let mut engine = WorkloadEngine::for_catalog(cell.subsystem);
         let space = SearchSpace::for_host(&cell.subsystem.host());
         let shared = context
@@ -248,20 +344,31 @@ pub fn run_campaign_matrix_report(
             incremental: profile.incremental,
         }
     });
+    let qualification = options.qualify.then(|| {
+        let triggers = cells
+            .iter()
+            .map(|cell| cell.outcome.discovered_triggers())
+            .collect();
+        qualification_phase(specs, triggers, options)
+    });
     MatrixReport {
         cells,
         cache: context.map(|ctx| ctx.totals()).unwrap_or_default(),
+        qualification,
     }
 }
 
 /// The fabric counterpart of [`run_campaign_matrix_report`]: same
-/// ownership shape over [`EvalContext::fabric_cache`].
+/// ownership shape over [`EvalContext::fabric_cache`]. The qualification
+/// phase (when requested) verifies each discovery's *culprit workload*
+/// against the two-host subsystem — see
+/// [`FabricOutcome::discovered_triggers`].
 pub fn run_fabric_campaign_matrix_report(
-    cells: &[CampaignSpec],
+    specs: &[CampaignSpec],
     options: &MatrixOptions,
 ) -> MatrixReport<FabricOutcome> {
     let context = matrix_context(options);
-    let cells = parallel_map(cells, options.workers, |cell| {
+    let cells = parallel_map(specs, options.workers, |cell| {
         let mut engine = FabricEngine::for_catalog(cell.subsystem);
         let space = FabricSpace::for_host(&cell.subsystem.host());
         let shared = context.as_ref().map(|ctx| ctx.fabric_cache(cell.subsystem));
@@ -277,9 +384,17 @@ pub fn run_fabric_campaign_matrix_report(
             incremental: profile.incremental,
         }
     });
+    let qualification = options.qualify.then(|| {
+        let triggers = cells
+            .iter()
+            .map(|cell| cell.outcome.discovered_triggers())
+            .collect();
+        qualification_phase(specs, triggers, options)
+    });
     MatrixReport {
         cells,
         cache: context.map(|ctx| ctx.totals()).unwrap_or_default(),
+        qualification,
     }
 }
 
@@ -573,6 +688,63 @@ mod tests {
             .sum();
         assert!(shared.cache.computed + shared.cache.served >= asks);
         assert!(shared.cache.served > 0, "twin cells must share computes");
+    }
+
+    #[test]
+    fn qualification_phase_rides_along_without_changing_cells() {
+        // The mitigation-loop contract at the harness level: turning the
+        // verification phase on must not move a single byte of the campaign
+        // cells (it runs after them, on fresh engines), and a catalog built
+        // from one run lets the next run skip everything already cleared.
+        let config = SearchConfig::collie(0).with_budget(SimDuration::from_secs(2 * 3600));
+        let cells = [CampaignSpec::seeded(SubsystemId::F, &config, 11)];
+        let plain = run_campaign_matrix_report(&cells, &MatrixOptions::new(2));
+        assert_eq!(plain.qualification, None);
+
+        let qualified =
+            run_campaign_matrix_report(&cells, &MatrixOptions::new(2).with_qualification());
+        for (a, b) in plain.cells.iter().zip(&qualified.cells) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.stats, b.stats);
+        }
+        let phase = qualified.qualification.expect("phase requested");
+        // Several discoveries may share one anomaly identity; the phase
+        // qualifies each identity once.
+        let distinct: std::collections::BTreeSet<String> = plain.cells[0]
+            .outcome
+            .discovered_triggers()
+            .iter()
+            .map(|t| t.identity(SubsystemId::F))
+            .collect();
+        assert!(!distinct.is_empty(), "the 2h collie campaign must discover");
+        assert_eq!(
+            phase.records.len() + phase.not_reproduced,
+            distinct.len(),
+            "{phase:?}"
+        );
+        assert_eq!(phase.skipped_known_cleared, 0);
+        assert!(phase.regressions.is_empty());
+
+        // Feed the run's records back as the persistent catalog: every
+        // cleared record is now skipped instead of re-reported, nothing
+        // regresses, and the uncleared ones are honestly re-qualified.
+        let mut catalog = RegressionCatalog::new();
+        let cleared = phase.records.iter().filter(|r| r.cleared()).count();
+        for record in &phase.records {
+            catalog.upsert(record.clone());
+        }
+        let rerun = run_campaign_matrix_report(
+            &cells,
+            &MatrixOptions::new(2).with_regression_catalog(catalog),
+        );
+        let rerun_phase = rerun.qualification.expect("phase implied by catalog");
+        assert_eq!(rerun_phase.skipped_known_cleared, cleared);
+        assert_eq!(
+            rerun_phase.records.len() + rerun_phase.not_reproduced + cleared,
+            distinct.len()
+        );
+        assert!(rerun_phase.records.iter().all(|r| !r.cleared()));
+        assert!(rerun_phase.regressions.is_empty(), "{rerun_phase:?}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   waiting for a vendor fix (the BytePS / DML case study).
 
 use crate::catalog::KnownAnomaly;
+use crate::mitigation::RemediationPlan;
 use crate::monitor::{FeatureCondition, Mfs};
 use crate::space::{Feature, SearchPoint, SpaceRestriction};
 use collie_rnic::subsystems::SubsystemId;
@@ -86,51 +87,73 @@ impl Advisor {
     pub fn diagnose(&self, workload: &SearchPoint) -> Vec<Suggestion> {
         let mut suggestions = Vec::new();
 
-        for mfs in &self.discovered {
-            // An MFS with no recorded conditions matches every workload and
-            // offers nothing to break; it carries no diagnostic value.
-            if mfs.is_empty() {
-                continue;
-            }
-            if mfs.matches(workload) {
-                let conditions: Vec<String> = mfs
-                    .conditions
-                    .iter()
-                    .map(|(f, c)| format!("{f} {c}"))
-                    .collect();
-                suggestions.push(Suggestion {
-                    anomaly: format!("discovered anomaly ({})", mfs.symptom),
-                    matched_conditions: conditions.clone(),
-                    recommendation: recommend_break(&mfs.conditions_iter().collect::<Vec<_>>()),
-                });
-            }
+        // An MFS with no recorded conditions matches every workload and
+        // offers nothing to break; it carries no diagnostic value.
+        let matched_mfses: Vec<&Mfs> = self
+            .discovered
+            .iter()
+            .filter(|mfs| !mfs.is_empty() && mfs.matches(workload))
+            .collect();
+        for mfs in &matched_mfses {
+            let conditions: Vec<String> = mfs
+                .conditions
+                .iter()
+                .map(|(f, c)| format!("{f} {c}"))
+                .collect();
+            suggestions.push(Suggestion {
+                anomaly: format!("discovered anomaly ({})", mfs.symptom),
+                matched_conditions: conditions,
+                recommendation: recommend_break(&mfs.conditions_iter().collect::<Vec<_>>()),
+            });
         }
         for known in &self.known {
-            if Self::workload_resembles(known, workload) {
-                suggestions.push(Suggestion {
-                    anomaly: format!("#{} ({})", known.id, known.symptom),
-                    matched_conditions: known.conditions.clone(),
-                    recommendation: format!(
-                        "change the workload so that one of these no longer holds: {}",
-                        known.conditions.join("; ")
-                    ),
-                });
+            if !Self::workload_resembles(known, workload) {
+                continue;
             }
+            // Dedup by anomaly identity: a matched discovered MFS with the
+            // same symptom whose region contains the catalogued trigger is
+            // this anomaly re-found by a campaign, and its (sharper)
+            // suggestion is already in the list.
+            if matched_mfses
+                .iter()
+                .any(|mfs| mfs.symptom == known.symptom && mfs.matches(&known.trigger))
+            {
+                continue;
+            }
+            suggestions.push(Suggestion {
+                anomaly: format!("#{} ({})", known.id, known.symptom),
+                matched_conditions: known.conditions.clone(),
+                recommendation: recommend_break_text(&known.conditions),
+            });
         }
         suggestions
     }
 
+    /// Remediation workflow: the documented [`RemediationPlan`] of every
+    /// catalogued anomaly this workload resembles, in catalog order. Plans
+    /// may be empty (the paper reports no fix and no bypass); callers decide
+    /// how to record that honestly.
+    pub fn remediation_plans(&self, workload: &SearchPoint) -> Vec<RemediationPlan> {
+        self.known
+            .iter()
+            .filter(|known| Self::workload_resembles(known, workload))
+            .map(RemediationPlan::for_anomaly)
+            .collect()
+    }
+
     /// Conservative resemblance check between an application workload and a
     /// catalogued trigger: same transport/opcode family and the same
-    /// qualitative traffic layout.
+    /// qualitative traffic layout. Scale comparisons saturate: a workload
+    /// bigger than any catalogued trigger must still resemble it, so the
+    /// doubling headroom must not wrap for huge deployments.
     fn workload_resembles(known: &KnownAnomaly, workload: &SearchPoint) -> bool {
         let t = &known.trigger;
         t.transport == workload.transport
             && t.opcode == workload.opcode
             && t.bidirectional == workload.bidirectional
             && t.with_loopback == workload.with_loopback
-            && workload.num_qps * 2 >= t.num_qps
-            && workload.wqe_batch * 2 >= t.wqe_batch
+            && workload.num_qps.saturating_mul(2) >= t.num_qps
+            && workload.wqe_batch.saturating_mul(2) >= t.wqe_batch
             && workload.sge_per_wqe >= t.sge_per_wqe
     }
 }
@@ -158,6 +181,44 @@ fn recommend_break(conditions: &[(&Feature, &FeatureCondition)]) -> String {
         Some((feature, condition)) => format!(
             "break the '{feature} {condition}' condition (the cheapest of the matched \
              conditions to change)"
+        ),
+        None => "no necessary condition recorded".to_string(),
+    }
+}
+
+/// The text twin of [`recommend_break`] for catalogued anomalies, whose
+/// necessary conditions are the human-readable Table-2 strings rather than
+/// [`Feature`] conditions. The same cheapest-knob ladder, keyed on the
+/// Table-2 vocabulary: batching/queue depths first, then message layout,
+/// then connection/MR scale, MTU, placement, and finally transport/opcode
+/// or host-platform conditions an application cannot cheaply change.
+fn recommend_break_text(conditions: &[String]) -> String {
+    let priority = |condition: &str| {
+        let c = condition.to_ascii_lowercase();
+        if c.contains("wqe batch") || c.contains("batching") || c.contains("work queue") {
+            0
+        } else if c.contains("message") || c.contains("sg list") {
+            1
+        } else if c.contains("qp") || c.contains("mr") {
+            2
+        } else if c.contains("mtu") {
+            3
+        } else if c.contains("memory")
+            || c.contains("loopback")
+            || c.contains("bidirectional")
+            || c.contains("gpu")
+            || c.contains("socket")
+        {
+            4
+        } else {
+            5
+        }
+    };
+    let mut sorted: Vec<&String> = conditions.iter().collect();
+    sorted.sort_by_key(|c| priority(c));
+    match sorted.first() {
+        Some(condition) => format!(
+            "break the '{condition}' condition (the cheapest of the matched conditions to change)"
         ),
         None => "no necessary condition recorded".to_string(),
     }
@@ -210,6 +271,114 @@ mod tests {
             suggestions.iter().any(|s| s.anomaly.starts_with("#9")),
             "{suggestions:?}"
         );
+    }
+
+    /// The BytePS-style workload of §2.2/§7.3 that resembles anomaly #9.
+    fn dml_workload() -> SearchPoint {
+        let mut workload = SearchPoint::benign();
+        workload.transport = Transport::Rc;
+        workload.opcode = Opcode::Write;
+        workload.bidirectional = true;
+        workload.num_qps = 8;
+        workload.sge_per_wqe = 3;
+        workload.wqe_batch = 8;
+        workload.messages = vec![128, 64 * 1024, 1024];
+        workload
+    }
+
+    /// An MFS as a campaign would extract it when it re-finds anomaly #9:
+    /// same symptom, and a condition region containing #9's catalogued
+    /// trigger (8 QPs, SG list 3).
+    fn mfs_mirroring_anomaly_9() -> Mfs {
+        let mut conditions = std::collections::BTreeMap::new();
+        conditions.insert(Feature::SgePerWqe, FeatureCondition::AtLeast(3));
+        conditions.insert(Feature::NumQps, FeatureCondition::AtLeast(8));
+        Mfs {
+            symptom: crate::monitor::Symptom::PauseStorm,
+            conditions,
+            example: KnownAnomaly::by_id(9).unwrap().trigger,
+        }
+    }
+
+    #[test]
+    fn discovered_mfs_shadowing_its_catalogued_twin_is_not_reported_twice() {
+        let workload = dml_workload();
+        let mfs = mfs_mirroring_anomaly_9();
+        assert!(mfs.matches(&workload));
+        assert!(mfs.matches(&KnownAnomaly::by_id(9).unwrap().trigger));
+
+        let advisor = Advisor::for_subsystem(SubsystemId::F).with_discovered(vec![mfs]);
+        let suggestions = advisor.diagnose(&workload);
+        // One suggestion for the discovered MFS, none re-reporting #9.
+        assert_eq!(
+            suggestions
+                .iter()
+                .filter(|s| s.anomaly.starts_with("discovered"))
+                .count(),
+            1,
+            "{suggestions:?}"
+        );
+        assert!(
+            !suggestions.iter().any(|s| s.anomaly.starts_with("#9")),
+            "catalogued twin of the discovered MFS reported twice: {suggestions:?}"
+        );
+    }
+
+    #[test]
+    fn catalogued_suggestions_use_the_cheapest_knob_prioritisation() {
+        // No discovered MFS: the catalogued branch alone must still rank
+        // the matched conditions and point at the cheapest one ("SG list
+        // >= 3" for #9, not the bidirectional layout or the host platform).
+        let advisor = Advisor::for_subsystem(SubsystemId::F);
+        let suggestions = advisor.diagnose(&dml_workload());
+        let nine = suggestions
+            .iter()
+            .find(|s| s.anomaly.starts_with("#9"))
+            .expect("the DML workload resembles #9");
+        assert!(
+            nine.recommendation.starts_with("break the '"),
+            "{}",
+            nine.recommendation
+        );
+        assert!(
+            nine.recommendation.contains("SG list >= 3"),
+            "{}",
+            nine.recommendation
+        );
+    }
+
+    #[test]
+    fn huge_workloads_still_resemble_catalogued_triggers() {
+        // Boundary: num_qps/wqe_batch large enough that doubling them
+        // overflows u32 (2^31 * 2 wraps to 0). The workload is strictly
+        // bigger than #4's trigger on every axis, so it must match; before
+        // the saturating_mul fix the wrap silently failed the comparison in
+        // release mode (and panicked in debug).
+        let mut workload = SearchPoint::benign();
+        workload.transport = Transport::Rc;
+        workload.opcode = Opcode::Read;
+        workload.bidirectional = true;
+        workload.num_qps = 1 << 31;
+        workload.wqe_batch = 1 << 31;
+        workload.sge_per_wqe = 4;
+        let advisor = Advisor::for_subsystem(SubsystemId::F);
+        let suggestions = advisor.diagnose(&workload);
+        assert!(
+            suggestions.iter().any(|s| s.anomaly.starts_with("#4")),
+            "{suggestions:?}"
+        );
+    }
+
+    #[test]
+    fn remediation_plans_cover_every_resembled_anomaly() {
+        let advisor = Advisor::for_subsystem(SubsystemId::F);
+        let plans = advisor.remediation_plans(&dml_workload());
+        assert!(
+            plans.iter().any(|p| p.anomaly_id == 9 && p.has_fix()),
+            "{plans:?}"
+        );
+        // Benign workloads resemble nothing.
+        assert!(advisor.remediation_plans(&SearchPoint::benign()).is_empty());
     }
 
     #[test]

@@ -92,6 +92,22 @@ impl FabricOutcome {
         self.discoveries.iter().filter(|d| d.cross_host).collect()
     }
 
+    /// The discoveries' culprit workloads as triggers for the remediation →
+    /// verification pipeline (see [`crate::remedy::Qualifier`]). The
+    /// fabric-side dimensions (host count, incast degree, pattern) are
+    /// dropped: mitigations act on the two-host subsystem and the culprit's
+    /// workload description, which is also what `matched_rules` scores.
+    pub fn discovered_triggers(&self) -> Vec<crate::remedy::DiscoveredTrigger> {
+        self.discoveries
+            .iter()
+            .map(|d| crate::remedy::DiscoveredTrigger {
+                point: d.point.workload.clone(),
+                symptom: d.symptom,
+                matched_rules: d.matched_rules.clone(),
+            })
+            .collect()
+    }
+
     /// Distinct catalogued anomalies matched by the discoveries' culprit
     /// workloads (scoring only).
     pub fn distinct_known_anomalies(&self) -> BTreeSet<String> {

@@ -36,6 +36,11 @@
 //! * [`mitigation`] — the documented vendor fixes and workload bypasses of
 //!   §7.1 / Appendix A (seven anomalies were fixed after disclosure; the
 //!   rest must be avoided by changing the workload).
+//! * [`remedy`] — the discovery → remediation → verification pipeline: the
+//!   [`remedy::Qualifier`] re-measures each discovery with the advisor's
+//!   mitigations applied one at a time and the persistent
+//!   [`remedy::RegressionCatalog`] lets future campaigns skip
+//!   known-cleared anomalies and flag regressions.
 //! * [`report`] — serialisable experiment records used by the benchmark
 //!   harness and EXPERIMENTS.md.
 //! * [`fabric`] — the multi-host extension: N hosts on one lossless
@@ -53,6 +58,7 @@ pub mod eval;
 pub mod fabric;
 pub mod mitigation;
 pub mod monitor;
+pub mod remedy;
 pub mod report;
 pub mod search;
 pub mod space;
@@ -64,5 +70,9 @@ pub use eval::{EvalStats, Evaluator};
 pub use fabric::{FabricEngine, FabricEvaluator, FabricOutcome, FabricVerdict};
 pub use mitigation::{Mitigation, MitigationKind, RemediationPlan};
 pub use monitor::{AnomalyMonitor, AnomalyVerdict, Mfs, Symptom};
+pub use remedy::{
+    DiscoveredTrigger, MitigationStep, QualificationRecord, Qualifier, RegressionCatalog,
+    RegressionFlag, Verdict,
+};
 pub use search::{SearchConfig, SearchOutcome, SearchStrategy, SignalMode};
 pub use space::{FabricPoint, FabricSpace, Feature, SearchPoint, SearchSpace};

@@ -124,10 +124,13 @@ impl Mitigation {
             | Mitigation::ForceRelaxedOrdering
             | Mitigation::FixAcsConfiguration
             | Mitigation::VendorRegisterFix => MitigationKind::SubsystemConfiguration,
-            Mitigation::FirmwareBidirFix | Mitigation::LoopbackRateLimiter => {
-                MitigationKind::FirmwareUpgrade
+            Mitigation::FirmwareBidirFix => MitigationKind::FirmwareUpgrade,
+            // "We are glad to see that some latest RNICs have done so"
+            // (Appendix A): the rate limiter ships with newer silicon, so
+            // deploying it means swapping the NIC, not flashing firmware.
+            Mitigation::NicPerSocket | Mitigation::LoopbackRateLimiter => {
+                MitigationKind::HardwareChange
             }
-            Mitigation::NicPerSocket => MitigationKind::HardwareChange,
             Mitigation::AvoidLoopbackViaIpc => MitigationKind::WorkloadChange,
         }
     }
@@ -419,6 +422,16 @@ mod tests {
         );
         assert_eq!(
             Mitigation::NicPerSocket.kind(),
+            MitigationKind::HardwareChange
+        );
+        assert_eq!(
+            Mitigation::FirmwareBidirFix.kind(),
+            MitigationKind::FirmwareUpgrade
+        );
+        // Regression pin: the loopback rate limiter is newer silicon, not a
+        // firmware flash (it was misclassified as FirmwareUpgrade once).
+        assert_eq!(
+            Mitigation::LoopbackRateLimiter.kind(),
             MitigationKind::HardwareChange
         );
         assert_eq!(

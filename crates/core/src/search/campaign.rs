@@ -109,6 +109,19 @@ impl SearchOutcome {
             .collect()
     }
 
+    /// The campaign's discoveries as triggers for the remediation →
+    /// verification pipeline (see [`crate::remedy::Qualifier`]).
+    pub fn discovered_triggers(&self) -> Vec<crate::remedy::DiscoveredTrigger> {
+        self.discoveries
+            .iter()
+            .map(|d| crate::remedy::DiscoveredTrigger {
+                point: d.point.clone(),
+                symptom: d.symptom,
+                matched_rules: d.matched_rules.clone(),
+            })
+            .collect()
+    }
+
     /// The distinct catalogued anomalies *triggered* by any measured
     /// experiment, including redundant sightings inside already-known MFS
     /// regions. Always a superset of [`distinct_known_anomalies`]; reported

@@ -53,6 +53,10 @@ pub mod prelude {
     pub use collie_core::fabric::{run_fabric_search, FabricEngine, FabricOutcome, FabricVerdict};
     pub use collie_core::mitigation::{Mitigation, MitigationKind, RemediationPlan};
     pub use collie_core::monitor::{AnomalyMonitor, AnomalyVerdict, Mfs, Symptom};
+    pub use collie_core::remedy::{
+        DiscoveredTrigger, MitigationStep, QualificationRecord, Qualifier, RegressionCatalog,
+        RegressionFlag, Verdict,
+    };
     pub use collie_core::search::{
         run_search, SearchConfig, SearchOutcome, SearchStrategy, SignalMode,
     };

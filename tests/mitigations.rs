@@ -177,6 +177,54 @@ fn remediated_subsystem_still_reproduces_unrelated_anomalies() {
 }
 
 #[test]
+fn the_mitigation_loop_closes_end_to_end() {
+    // The full §7 loop: a campaign discovers an anomaly, the qualifier
+    // verifies the documented mitigation actually clears it, and the
+    // verdict survives a trip through the persistent regression catalog.
+    let outcome = collie::quick_campaign(SubsystemId::F, 2.0, 11);
+    let triggers = outcome.discovered_triggers();
+    let discovery = triggers
+        .iter()
+        .find(|t| t.matched_rules.iter().any(|r| r == "collie/3"))
+        .expect("the 2h seed-11 campaign rediscovers anomaly #3");
+
+    let engine = WorkloadEngine::for_catalog(SubsystemId::F);
+    let qualifier = Qualifier::for_subsystem(SubsystemId::F);
+    let record = qualifier
+        .qualify(&engine, &discovery.point, &discovery.matched_rules)
+        .expect("the discovery must reproduce on a fresh engine");
+    assert_eq!(record.cleared_by, Some(Mitigation::RaiseMtu));
+    assert!(record.fixed(), "#3 is fixed by a documented configuration");
+    assert_eq!(record.symptom, Symptom::PauseStorm);
+
+    let mut catalog = RegressionCatalog::new();
+    catalog.upsert(record.clone());
+    let path = std::env::temp_dir().join("collie-mitigation-loop-test.json");
+    catalog.save(&path).unwrap();
+    let loaded = RegressionCatalog::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded, catalog, "the verdict survives disk");
+    assert_eq!(loaded.get(&record.identity()), Some(&record));
+    assert!(
+        loaded.is_known_cleared(&discovery.identity(SubsystemId::F)),
+        "a future campaign would skip re-reporting this discovery"
+    );
+    assert!(loaded.check_regressions().is_empty());
+
+    // Negative half: #4 has no documented mitigation, so its record is an
+    // honest "not cleared" that the catalog must never treat as cleared.
+    let unfixed = qualifier.qualify_known(&KnownAnomaly::by_id(4).unwrap());
+    assert!(!unfixed.cleared());
+    let mut catalog = loaded;
+    catalog.upsert(unfixed.clone());
+    assert!(!catalog.is_known_cleared(&unfixed.identity()));
+    assert!(
+        catalog.check_regressions().is_empty(),
+        "an uncleared record is not a regression"
+    );
+}
+
+#[test]
 fn remediation_descriptions_are_actionable_text() {
     for anomaly in KnownAnomaly::all() {
         let plan = RemediationPlan::for_anomaly(&anomaly);
