@@ -15,6 +15,7 @@
 //! seed per grid row); the emitted schema is identical. Every emitted file
 //! is self-validated with the same `validate_bench_report` the CI
 //! `bench-smoke` job runs.
+#![forbid(unsafe_code)]
 
 use collie_bench::{
     bench_report, default_workers, run_campaign_matrix_report, run_fabric_campaign_matrix_report,

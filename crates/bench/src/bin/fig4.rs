@@ -8,6 +8,7 @@
 //!
 //! All nine campaigns (3 strategies × 3 seeds) run as one parallel matrix;
 //! the per-strategy grouping below only reads the results back in order.
+#![forbid(unsafe_code)]
 
 use collie_bench::{
     bench_report, default_workers, fmt_minutes, run_campaign_matrix_report, text_table,

@@ -8,6 +8,7 @@
 //! change at first); MFS roughly halves the time to cover the full set.
 //!
 //! All twelve campaigns (4 variants × 3 seeds) run as one parallel matrix.
+#![forbid(unsafe_code)]
 
 use collie_bench::{
     bench_report, default_workers, fmt_minutes, run_campaign_matrix_report, text_table,

@@ -7,6 +7,7 @@
 //! (markers) land while the counter sits in its high region; the Collie
 //! trace shows flat segments right after each discovery (the time spent
 //! extracting the MFS).
+#![forbid(unsafe_code)]
 
 use collie_bench::{run_seeded_campaigns, text_table};
 use collie_core::report::{to_json, TraceSeries};

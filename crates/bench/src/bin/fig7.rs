@@ -7,6 +7,7 @@
 //! All campaigns (3 strategies × 3 seeds, the same strategy column as the
 //! two-host Figure 4) run as one parallel matrix via the shared bounded
 //! worker pool.
+#![forbid(unsafe_code)]
 
 use collie_bench::{
     bench_report, default_workers, fmt_minutes, run_fabric_campaign_matrix_report, text_table,

@@ -17,6 +17,7 @@
 //!   that is anomalous again is reported as a regression and fails the run.
 //! * `--out <path>` — write the (merged) regression catalog back to disk.
 //! * `--json` — print only the `JSON:` block.
+#![forbid(unsafe_code)]
 
 use collie_bench::{default_workers, parallel_map, text_table};
 use collie_core::catalog::KnownAnomaly;

@@ -5,6 +5,7 @@
 //! not print: the baseline throughput of a benign large-message workload
 //! and its pause ratio (both should look healthy on every subsystem —
 //! anomalies need the specific triggers of Table 2).
+#![forbid(unsafe_code)]
 
 use collie_bench::text_table;
 use collie_core::engine::WorkloadEngine;

@@ -13,6 +13,7 @@
 //! measurements (four monitor samples per assessment, extraction probes,
 //! condition-break probes of the same broken points) share one memoized
 //! evaluator.
+#![forbid(unsafe_code)]
 
 use collie_bench::{default_workers, parallel_map, text_table};
 use collie_core::catalog::KnownAnomaly;

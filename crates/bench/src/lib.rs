@@ -11,6 +11,7 @@
 //! its subsystem — so the harness fans the full (strategy × subsystem ×
 //! seed) grid out across a bounded scoped-thread pool
 //! ([`run_campaign_matrix`]) instead of sweeping it serially.
+#![forbid(unsafe_code)]
 
 pub mod report;
 
@@ -65,7 +66,7 @@ impl CampaignSpec {
 /// the matrix pool and any per-campaign speculation pools share one global
 /// budget instead of multiplying against each other.
 pub fn default_workers() -> usize {
-    match parse_workers(std::env::var("COLLIE_WORKERS").ok().as_deref()) {
+    match collie_core::env::workers() {
         Some(workers) => workers,
         None => {
             let available = std::thread::available_parallelism()
@@ -90,15 +91,6 @@ pub fn budgeted_workers(available: usize, speculation: Option<usize>) -> usize {
         Some(lookahead) => (available / (1 + lookahead.max(1))).clamp(1, 16),
         None => available.clamp(2, 16),
     }
-}
-
-/// `COLLIE_WORKERS` parser, separated from the env read so it can be
-/// tested without mutating process-global state under a parallel test
-/// runner. Positive integers are honoured as-is; `0` clamps to 1 (a pool
-/// cannot be empty); anything unparsable falls back to the automatic
-/// width.
-fn parse_workers(value: Option<&str>) -> Option<usize> {
-    value?.trim().parse::<usize>().ok().map(|n| n.max(1))
 }
 
 /// Map `f` over `items` on a bounded pool of scoped worker threads,
@@ -749,23 +741,12 @@ mod tests {
 
     #[test]
     fn workers_override_parses_and_clamps() {
-        // CI and operators pin the matrix pool with COLLIE_WORKERS; this
-        // pins the parser without touching process-global state.
-        for (value, expected) in [
-            (None, None),
-            (Some(""), None),
-            (Some("  "), None),
-            (Some("not a pool"), None),
-            (Some("-2"), None),
-            (Some("0"), Some(1)),
-            (Some("1"), Some(1)),
-            (Some(" 3 "), Some(3)),
-            (Some("24"), Some(24)),
-        ] {
-            assert_eq!(parse_workers(value), expected, "COLLIE_WORKERS={value:?}");
-        }
-        // Whatever the machine (or an inherited COLLIE_WORKERS) looks
-        // like, the pool is never empty.
+        // CI and operators pin the matrix pool with COLLIE_WORKERS; the
+        // parser grammar itself is pinned in `collie_core::env::tests`
+        // (the registry is the single source of truth). Whatever the
+        // machine (or an inherited COLLIE_WORKERS) looks like, the pool
+        // is never empty.
+        assert_eq!(collie_core::env::parse_workers(Some("0")), Some(1));
         assert!(default_workers() >= 1);
     }
 

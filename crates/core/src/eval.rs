@@ -30,6 +30,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
+// collie-lint: allow(wall-clock, reason = "EvalProfile records real compute latency; it never feeds a campaign decision")
 use std::time::Instant;
 
 /// Cache effectiveness counters of one [`Evaluator`].
@@ -536,6 +537,7 @@ impl<'e> Evaluator<'e> {
     }
 
     fn timed_compute(&mut self, point: &SearchPoint) -> Measurement {
+        // collie-lint: allow(wall-clock, reason = "perf-harness latency sample; the measurement itself is deterministic")
         let started = Instant::now();
         let measurement = self.engine.measure(point);
         self.compute_micros
@@ -561,6 +563,7 @@ impl<'e> Evaluator<'e> {
             let mut computed_here = false;
             let measurement = shared.get_or_compute(point, || {
                 computed_here = true;
+                // collie-lint: allow(wall-clock, reason = "perf-harness latency sample; the measurement itself is deterministic")
                 let started = Instant::now();
                 let measurement = engine.measure(point);
                 micros.push(started.elapsed().as_micros() as u64);
@@ -866,6 +869,7 @@ mod tests {
                 scope.spawn(move |_| *cache.get_or_compute(&1, || panic!("must not recompute")))
             };
             // Give the waiter a chance to park before publishing.
+            // collie-lint: allow(wall-clock, reason = "test-only sleep ordering a thread interleaving; no campaign path runs here")
             std::thread::sleep(std::time::Duration::from_millis(5));
             cache.fulfill(1, 11);
             assert_eq!(waiter.join().expect("waiter ok"), 11);

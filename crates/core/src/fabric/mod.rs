@@ -46,6 +46,7 @@ use collie_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+// collie-lint: allow(wall-clock, reason = "FabricEvaluator's EvalProfile records real compute latency; it never feeds a campaign decision")
 use std::time::Instant;
 
 /// Sets up and runs fabric experiments: N homogeneous hosts around the
@@ -262,6 +263,7 @@ impl<'e> FabricEvaluator<'e> {
             let mut computed_here = false;
             let measurement = shared.get_or_compute(point, || {
                 computed_here = true;
+                // collie-lint: allow(wall-clock, reason = "perf-harness latency sample; the measurement itself is deterministic")
                 let started = Instant::now();
                 let measurement = engine.measure(point);
                 micros.push(started.elapsed().as_micros() as u64);
@@ -282,6 +284,7 @@ impl<'e> FabricEvaluator<'e> {
 
     /// Run the fabric model for one point, recording its wall-clock cost.
     fn timed_compute(&mut self, point: &FabricPoint) -> FabricMeasurement {
+        // collie-lint: allow(wall-clock, reason = "perf-harness latency sample; the measurement itself is deterministic")
         let started = Instant::now();
         let measurement = self.engine.measure(point);
         self.compute_micros

@@ -41,6 +41,10 @@
 //!   mitigations applied one at a time and the persistent
 //!   [`remedy::RegressionCatalog`] lets future campaigns skip
 //!   known-cleared anomalies and flag regressions.
+//! * [`mod@env`] — the single-source-of-truth registry of every `COLLIE_*`
+//!   environment hook (name, default, clamp grammar, doc) with the one
+//!   set of parsers and typed readers; `collie-lint` enforces statically
+//!   that no env read bypasses it.
 //! * [`report`] — serialisable experiment records used by the benchmark
 //!   harness and EXPERIMENTS.md.
 //! * [`fabric`] — the multi-host extension: N hosts on one lossless
@@ -54,6 +58,7 @@
 pub mod advisor;
 pub mod catalog;
 pub mod engine;
+pub mod env;
 pub mod eval;
 pub mod fabric;
 pub mod mitigation;

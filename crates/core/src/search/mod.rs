@@ -103,7 +103,12 @@ pub struct SearchConfig {
     /// the constructor default so CI can run the whole suite uncached and
     /// cache divergence can never hide behind the default. Tests that
     /// assert cache *statistics* must pin the toggle with
-    /// [`SearchConfig::with_memoization`].
+    /// [`SearchConfig::with_memoization`]. Like
+    /// [`SearchConfig::speculation`], the knob is an execution detail
+    /// excluded from serialization, so it cannot leak into golden
+    /// fixtures; deserialized configs fall back to the uncached path,
+    /// which is always correct.
+    #[serde(skip)]
     pub memoize: bool,
     /// Seed for the campaign's randomness.
     pub seed: u64,
@@ -289,89 +294,28 @@ impl SearchConfig {
     /// The constructor default for [`SearchConfig::memoize`]: on, unless
     /// the `COLLIE_MEMOIZE` environment variable disables it (`0`,
     /// `false`, or `off`) so CI can run the whole suite through the
-    /// uncached path. Exposed so tests can derive their expectation from
-    /// the one parser instead of re-implementing the rule.
+    /// uncached path. A thin wrapper over the [`crate::env`] registry —
+    /// the hook's grammar, clamp, and documentation live there, exactly
+    /// once.
     pub fn default_memoize() -> bool {
-        parse_memoize(std::env::var("COLLIE_MEMOIZE").ok().as_deref())
+        crate::env::memoize()
     }
 
     /// The constructor default for [`SearchConfig::speculation`]: `None`
     /// (serial), unless the `COLLIE_SPECULATION` environment variable
     /// enables a lookahead depth so CI can run the whole suite
-    /// speculatively. Exposed so tests can derive their expectation from
-    /// the one parser instead of re-implementing the rule.
+    /// speculatively. A thin wrapper over the [`crate::env`] registry.
     pub fn default_speculation() -> Option<usize> {
-        parse_speculation(std::env::var("COLLIE_SPECULATION").ok().as_deref())
+        crate::env::speculation()
     }
 
     /// The constructor default for [`SearchConfig::incremental`]: on,
     /// unless the `COLLIE_INCREMENTAL` environment variable disables it
     /// (`0`, `false`, or `off`) so CI can run the whole suite through the
-    /// from-scratch path. Exposed so tests can derive their expectation
-    /// from the one parser instead of re-implementing the rule.
+    /// from-scratch path. A thin wrapper over the [`crate::env`]
+    /// registry.
     pub fn default_incremental() -> bool {
-        parse_incremental(std::env::var("COLLIE_INCREMENTAL").ok().as_deref())
-    }
-}
-
-/// The lookahead depth `COLLIE_SPECULATION=on` selects.
-const DEFAULT_SPECULATION_LOOKAHEAD: usize = 4;
-
-/// Ceiling on the lookahead depth an environment value can request: deeper
-/// speculation only wastes mis-speculated work, and a typo like
-/// `COLLIE_SPECULATION=1000000` must not spawn a thread per unit.
-const MAX_SPECULATION_LOOKAHEAD: usize = 64;
-
-/// `COLLIE_SPECULATION` parser, separated from the env read so it can be
-/// tested without mutating process-global state under a parallel test
-/// runner. Numeric values pick the lookahead depth (`0` disables);
-/// `on`/`true`/`yes` pick the default depth; `off`/`false`/empty and
-/// anything unparsable stay serial — speculation is an opt-in accelerator,
-/// so a malformed value must fail safe (serial is always correct).
-fn parse_speculation(value: Option<&str>) -> Option<usize> {
-    let value = value?.trim();
-    if value.is_empty() {
-        return None;
-    }
-    if let Ok(depth) = value.parse::<usize>() {
-        return (depth > 0).then(|| depth.min(MAX_SPECULATION_LOOKAHEAD));
-    }
-    ["on", "true", "yes"]
-        .iter()
-        .any(|enable| value.eq_ignore_ascii_case(enable))
-        .then_some(DEFAULT_SPECULATION_LOOKAHEAD)
-}
-
-/// `COLLIE_MEMOIZE` parser, separated from the env read so it can be
-/// tested without mutating process-global state under a parallel test
-/// runner. Disable values are matched case-insensitively so an operator's
-/// `COLLIE_MEMOIZE=OFF` cannot silently leave the cache on.
-fn parse_memoize(value: Option<&str>) -> bool {
-    match value {
-        Some(value) => {
-            let value = value.trim();
-            !["0", "false", "off"]
-                .iter()
-                .any(|disable| value.eq_ignore_ascii_case(disable))
-        }
-        None => true,
-    }
-}
-
-/// `COLLIE_INCREMENTAL` parser, separated from the env read so it can be
-/// tested without mutating process-global state under a parallel test
-/// runner. Same grammar as [`parse_memoize`]: disable values are matched
-/// case-insensitively so an operator's `COLLIE_INCREMENTAL=OFF` cannot
-/// silently leave the delta caches on.
-fn parse_incremental(value: Option<&str>) -> bool {
-    match value {
-        Some(value) => {
-            let value = value.trim();
-            !["0", "false", "off"]
-                .iter()
-                .any(|disable| value.eq_ignore_ascii_case(disable))
-        }
-        None => true,
+        crate::env::incremental()
     }
 }
 
@@ -543,74 +487,32 @@ mod tests {
     }
 
     #[test]
-    fn memoize_default_honours_the_env_toggle_values() {
-        // CI exports COLLIE_MEMOIZE=0 for the uncached matrix leg; this
-        // pins the parser without touching process-global state.
-        for (value, expected) in [
-            (Some("0"), false),
-            (Some("false"), false),
-            (Some("off"), false),
-            (Some("OFF"), false),
-            (Some("False"), false),
-            (Some(" 0 "), false),
-            (Some("1"), true),
-            (None, true),
-        ] {
-            assert_eq!(parse_memoize(value), expected, "COLLIE_MEMOIZE={value:?}");
-        }
+    fn constructor_defaults_delegate_to_the_env_registry() {
+        // The parsers themselves are pinned in `crate::env::tests`; this
+        // asserts the constructor defaults read through the registry (the
+        // same process environment must produce the same answers).
+        assert_eq!(SearchConfig::default_memoize(), crate::env::memoize());
+        assert_eq!(
+            SearchConfig::default_speculation(),
+            crate::env::speculation()
+        );
+        assert_eq!(
+            SearchConfig::default_incremental(),
+            crate::env::incremental()
+        );
     }
 
     #[test]
-    fn speculation_default_honours_the_env_toggle_values() {
-        // CI exports COLLIE_SPECULATION=4 for the speculative matrix leg;
-        // this pins the parser without touching process-global state.
-        for (value, expected) in [
-            (None, None),
-            (Some(""), None),
-            (Some("  "), None),
-            (Some("0"), None),
-            (Some("off"), None),
-            (Some("OFF"), None),
-            (Some("false"), None),
-            (Some("no such depth"), None),
-            (Some("-3"), None),
-            (Some("4"), Some(4)),
-            (Some(" 2 "), Some(2)),
-            (Some("1"), Some(1)),
-            (Some("1000000"), Some(64)),
-            (Some("on"), Some(4)),
-            (Some("TRUE"), Some(4)),
-            (Some("yes"), Some(4)),
-        ] {
-            assert_eq!(
-                parse_speculation(value),
-                expected,
-                "COLLIE_SPECULATION={value:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn incremental_default_honours_the_env_toggle_values() {
-        // CI exports COLLIE_INCREMENTAL=0 for the from-scratch matrix leg;
-        // this pins the parser without touching process-global state.
-        for (value, expected) in [
-            (Some("0"), false),
-            (Some("false"), false),
-            (Some("off"), false),
-            (Some("OFF"), false),
-            (Some("False"), false),
-            (Some(" 0 "), false),
-            (Some("1"), true),
-            (Some("on"), true),
-            (None, true),
-        ] {
-            assert_eq!(
-                parse_incremental(value),
-                expected,
-                "COLLIE_INCREMENTAL={value:?}"
-            );
-        }
+    fn memoize_knob_never_serializes_into_fixtures() {
+        // Like speculation and incremental, memoization is an execution
+        // detail: a recorded golden fixture must not change because the
+        // recording host had COLLIE_MEMOIZE set, and deserialized configs
+        // fall back to the always-correct uncached path.
+        let config = SearchConfig::collie(1).with_memoization(true);
+        let json = serde_json::to_string(&config).unwrap();
+        assert!(!json.contains("memoize"), "knob leaked into JSON: {json}");
+        let back: SearchConfig = serde_json::from_str(&json).unwrap();
+        assert!(!back.memoize);
     }
 
     #[test]

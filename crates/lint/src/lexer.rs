@@ -1,0 +1,547 @@
+//! A from-scratch, line/column-tracked Rust tokenizer.
+//!
+//! The container has no registry access, so `syn` is not an option; the
+//! rules also need far less than a full parse. What they do need — and
+//! what a regex grep cannot deliver — is *string/char/comment awareness*:
+//! `"Instant::now"` inside a string literal is data, `// Instant::now()`
+//! inside a comment is prose, and only the bare identifier sequence is a
+//! wall-clock call. The lexer therefore produces a faithful token stream
+//! (identifiers, punctuation, literals, lifetimes, comments) with the
+//! exact source line/column of every token, and leaves all syntax above
+//! the token level to the rules.
+//!
+//! Supported literal forms: `"…"` with escapes, raw strings `r"…"` /
+//! `r#"…"#` (any guard depth), byte strings `b"…"` / `br#"…"#`, char and
+//! byte-char literals (`'a'`, `b'\n'`), lifetimes (`'a`, `'static`,
+//! `'_`), raw identifiers (`r#match`), nested block comments, and numeric
+//! literals with suffixes. The lexer never fails: unknown bytes become
+//! single-character punctuation tokens, so a pathological file degrades
+//! to noise tokens rather than aborting the whole lint run.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`Instant`, `struct`, `r#match`).
+    Ident,
+    /// A string or byte-string literal; [`Token::text`] holds the raw
+    /// *content* between the quotes (escapes unprocessed).
+    Str,
+    /// A char or byte-char literal (`'a'`, `b'\0'`).
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal, suffix included (`42`, `0x1F`, `1.5e3`, `7u64`).
+    Number,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// A line or block comment; [`Token::text`] holds the body without
+    /// the `//` / `/* */` delimiters.
+    Comment,
+}
+
+/// One token with its source position (1-indexed line and column of its
+/// first character).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for which part of the source).
+    pub text: String,
+    /// 1-indexed source line of the token's first character.
+    pub line: usize,
+    /// 1-indexed source column of the token's first character.
+    pub column: usize,
+    /// Whether this token is the first non-whitespace token on its line
+    /// (annotation comments use this to distinguish "standalone" from
+    /// "trailing" placement).
+    pub first_on_line: bool,
+}
+
+/// Character cursor over the source with line/column bookkeeping.
+struct Cursor<'s> {
+    chars: std::iter::Peekable<std::str::Chars<'s>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(source: &'s str) -> Self {
+        Cursor {
+            chars: source.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `source` into the full token stream, comments included.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut cursor = Cursor::new(source);
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut last_line_with_token = 0usize;
+    while let Some(c) = cursor.peek() {
+        if c.is_whitespace() {
+            cursor.bump();
+            continue;
+        }
+        let line = cursor.line;
+        let column = cursor.column;
+        let first_on_line = line != last_line_with_token;
+        last_line_with_token = line;
+        let push = |tokens: &mut Vec<Token>, kind, text: String| {
+            tokens.push(Token {
+                kind,
+                text,
+                line,
+                column,
+                first_on_line,
+            });
+        };
+        match c {
+            '/' => {
+                cursor.bump();
+                match cursor.peek() {
+                    Some('/') => {
+                        cursor.bump();
+                        let mut body = String::new();
+                        while let Some(n) = cursor.peek() {
+                            if n == '\n' {
+                                break;
+                            }
+                            body.push(n);
+                            cursor.bump();
+                        }
+                        push(&mut tokens, TokenKind::Comment, body);
+                    }
+                    Some('*') => {
+                        cursor.bump();
+                        let mut body = String::new();
+                        let mut depth = 1usize;
+                        while depth > 0 {
+                            match cursor.bump() {
+                                Some('*') if cursor.peek() == Some('/') => {
+                                    cursor.bump();
+                                    depth -= 1;
+                                    if depth > 0 {
+                                        body.push_str("*/");
+                                    }
+                                }
+                                Some('/') if cursor.peek() == Some('*') => {
+                                    cursor.bump();
+                                    depth += 1;
+                                    body.push_str("/*");
+                                }
+                                Some(inner) => body.push(inner),
+                                None => break,
+                            }
+                        }
+                        push(&mut tokens, TokenKind::Comment, body);
+                    }
+                    _ => push(&mut tokens, TokenKind::Punct, "/".to_string()),
+                }
+            }
+            '"' => {
+                cursor.bump();
+                let content = scan_string_body(&mut cursor);
+                push(&mut tokens, TokenKind::Str, content);
+            }
+            '\'' => {
+                cursor.bump();
+                scan_quote(&mut cursor, &mut tokens, line, column, first_on_line);
+            }
+            'r' | 'b' => {
+                let (kind, text) = scan_r_or_b(&mut cursor);
+                push(&mut tokens, kind, text);
+            }
+            _ if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(n) = cursor.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut tokens, TokenKind::Ident, text);
+            }
+            _ if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(n) = cursor.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        cursor.bump();
+                    } else if n == '.' {
+                        // `1.5` continues the number; `1..x` does not.
+                        let mut probe = cursor.chars.clone();
+                        probe.next();
+                        match probe.peek() {
+                            Some(d) if d.is_ascii_digit() => {
+                                text.push('.');
+                                cursor.bump();
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut tokens, TokenKind::Number, text);
+            }
+            _ => {
+                cursor.bump();
+                push(&mut tokens, TokenKind::Punct, c.to_string());
+            }
+        }
+    }
+    tokens
+}
+
+/// Consume a `"…"` body after the opening quote, returning the raw
+/// content (escapes left as written).
+fn scan_string_body(cursor: &mut Cursor<'_>) -> String {
+    let mut content = String::new();
+    while let Some(c) = cursor.bump() {
+        match c {
+            '\\' => {
+                content.push('\\');
+                if let Some(escaped) = cursor.bump() {
+                    content.push(escaped);
+                }
+            }
+            '"' => break,
+            _ => content.push(c),
+        }
+    }
+    content
+}
+
+/// After a consumed `'`: decide char literal vs lifetime.
+fn scan_quote(
+    cursor: &mut Cursor<'_>,
+    tokens: &mut Vec<Token>,
+    line: usize,
+    column: usize,
+    first_on_line: bool,
+) {
+    let mut push = |kind, text: String| {
+        tokens.push(Token {
+            kind,
+            text,
+            line,
+            column,
+            first_on_line,
+        });
+    };
+    match cursor.peek() {
+        Some('\\') => {
+            // Escaped char literal: '\n', '\'', '\u{1F}'.
+            cursor.bump();
+            let mut text = String::from("\\");
+            if let Some(escaped) = cursor.bump() {
+                text.push(escaped);
+                if escaped == 'u' && cursor.peek() == Some('{') {
+                    while let Some(c) = cursor.bump() {
+                        text.push(c);
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cursor.peek() == Some('\'') {
+                cursor.bump();
+            }
+            push(TokenKind::Char, text);
+        }
+        Some(c) if is_ident_start(c) => {
+            // 'a' is a char; 'a (no closing quote) is a lifetime.
+            let mut probe = cursor.chars.clone();
+            probe.next();
+            if probe.peek() == Some(&'\'') {
+                cursor.bump();
+                cursor.bump();
+                push(TokenKind::Char, c.to_string());
+            } else {
+                let mut text = String::new();
+                while let Some(n) = cursor.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                push(TokenKind::Lifetime, text);
+            }
+        }
+        Some(c) => {
+            // Non-alphabetic char literal: '0', ';', '}'.
+            cursor.bump();
+            if cursor.peek() == Some('\'') {
+                cursor.bump();
+            }
+            push(TokenKind::Char, c.to_string());
+        }
+        None => push(TokenKind::Punct, "'".to_string()),
+    }
+}
+
+/// After peeking `r` or `b`: raw string, byte string, byte char, raw
+/// identifier, or a plain identifier starting with that letter.
+fn scan_r_or_b(cursor: &mut Cursor<'_>) -> (TokenKind, String) {
+    let first = cursor.bump().expect("caller peeked");
+    // Collect what follows without consuming, to classify.
+    match (first, cursor.peek()) {
+        ('r', Some('"')) => {
+            cursor.bump();
+            (TokenKind::Str, scan_raw_string_body(cursor, 0))
+        }
+        ('r', Some('#')) => {
+            // Either a raw string r#"…"# or a raw identifier r#match.
+            let mut guards = 0usize;
+            while cursor.peek() == Some('#') {
+                guards += 1;
+                cursor.bump();
+            }
+            if cursor.peek() == Some('"') {
+                cursor.bump();
+                (TokenKind::Str, scan_raw_string_body(cursor, guards))
+            } else {
+                let mut text = String::new();
+                while let Some(n) = cursor.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                (TokenKind::Ident, text)
+            }
+        }
+        ('b', Some('"')) => {
+            cursor.bump();
+            (TokenKind::Str, scan_string_body(cursor))
+        }
+        ('b', Some('\'')) => {
+            cursor.bump();
+            let mut text = String::new();
+            while let Some(c) = cursor.bump() {
+                if c == '\\' {
+                    text.push('\\');
+                    if let Some(escaped) = cursor.bump() {
+                        text.push(escaped);
+                    }
+                } else if c == '\'' {
+                    break;
+                } else {
+                    text.push(c);
+                }
+            }
+            (TokenKind::Char, text)
+        }
+        ('b', Some('r')) => {
+            // br"…" / br#"…"# byte raw string, or an identifier like `bread`.
+            let mut probe = cursor.chars.clone();
+            probe.next();
+            let after_r = probe.peek().copied();
+            if after_r == Some('"') || after_r == Some('#') {
+                cursor.bump();
+                let mut guards = 0usize;
+                while cursor.peek() == Some('#') {
+                    guards += 1;
+                    cursor.bump();
+                }
+                if cursor.peek() == Some('"') {
+                    cursor.bump();
+                    return (TokenKind::Str, scan_raw_string_body(cursor, guards));
+                }
+                // `br#ident` is not valid Rust; degrade to an identifier.
+                let mut text = String::from("br");
+                while let Some(n) = cursor.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return (TokenKind::Ident, text);
+            }
+            finish_ident(cursor, first)
+        }
+        _ => finish_ident(cursor, first),
+    }
+}
+
+/// Continue a plain identifier whose first character was already consumed.
+fn finish_ident(cursor: &mut Cursor<'_>, first: char) -> (TokenKind, String) {
+    let mut text = String::from(first);
+    while let Some(n) = cursor.peek() {
+        if is_ident_continue(n) {
+            text.push(n);
+            cursor.bump();
+        } else {
+            break;
+        }
+    }
+    (TokenKind::Ident, text)
+}
+
+/// Consume a raw-string body after the opening quote, with `guards` `#`s.
+fn scan_raw_string_body(cursor: &mut Cursor<'_>, guards: usize) -> String {
+    let mut content = String::new();
+    'outer: while let Some(c) = cursor.bump() {
+        if c == '"' {
+            // A close only counts with the full guard run behind it.
+            let mut probe = cursor.chars.clone();
+            for _ in 0..guards {
+                if probe.next() != Some('#') {
+                    content.push('"');
+                    continue 'outer;
+                }
+            }
+            for _ in 0..guards {
+                cursor.bump();
+            }
+            return content;
+        }
+        content.push(c);
+    }
+    content
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        tokenize(source)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let tokens = tokenize("let x = a::b;\n  y.z()");
+        assert_eq!(tokens[0].text, "let");
+        assert_eq!((tokens[0].line, tokens[0].column), (1, 1));
+        assert!(tokens[0].first_on_line);
+        assert!(!tokens[1].first_on_line);
+        let y = tokens.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!((y.line, y.column), (2, 3));
+        assert!(y.first_on_line);
+        // `::` is two ':' puncts.
+        assert_eq!(
+            tokens.iter().filter(|t| t.text == ":").count(),
+            2,
+            "{tokens:?}"
+        );
+    }
+
+    #[test]
+    fn strings_keep_content_and_hide_code() {
+        let tokens = kinds(r#"let s = "Instant::now()"; call();"#);
+        assert!(tokens.contains(&(TokenKind::Str, "Instant::now()".to_string())));
+        // The string body must NOT surface as identifiers.
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|(k, t)| *k == TokenKind::Ident && t == "Instant")
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let tokens =
+            kinds("let a = r\"x\\y\"; let b = r#\"quote \" inside\"#; let c = b\"bytes\";");
+        assert!(tokens.contains(&(TokenKind::Str, "x\\y".to_string())));
+        assert!(tokens.contains(&(TokenKind::Str, "quote \" inside".to_string())));
+        assert!(tokens.contains(&(TokenKind::Str, "bytes".to_string())));
+    }
+
+    #[test]
+    fn escapes_do_not_terminate_strings() {
+        let tokens = kinds(r#"let s = "a\"b"; ident_after"#);
+        assert!(tokens.contains(&(TokenKind::Str, "a\\\"b".to_string())));
+        assert!(tokens.contains(&(TokenKind::Ident, "ident_after".to_string())));
+    }
+
+    #[test]
+    fn chars_versus_lifetimes() {
+        let tokens = kinds("fn f<'a>(x: &'static str) { let c = 'q'; let n = '\\n'; }");
+        assert!(tokens.contains(&(TokenKind::Lifetime, "a".to_string())));
+        assert!(tokens.contains(&(TokenKind::Lifetime, "static".to_string())));
+        assert!(tokens.contains(&(TokenKind::Char, "q".to_string())));
+        assert!(tokens.contains(&(TokenKind::Char, "\\n".to_string())));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_bodies() {
+        let tokens =
+            tokenize("code(); // trailing note\n// standalone\nmore();\n/* block\nspan */");
+        let comments: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Comment)
+            .collect();
+        assert_eq!(comments.len(), 3);
+        assert_eq!(comments[0].text, " trailing note");
+        assert!(!comments[0].first_on_line);
+        assert_eq!(comments[1].text, " standalone");
+        assert!(comments[1].first_on_line);
+        assert!(comments[2].text.contains("block"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let tokens = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(
+            tokens.last(),
+            Some(&(TokenKind::Ident, "after".to_string()))
+        );
+    }
+
+    #[test]
+    fn numbers_including_floats_and_ranges() {
+        let tokens = kinds("let x = 1.5e3; for i in 0..10 { h(0x1F, 7u64); }");
+        assert!(tokens.contains(&(TokenKind::Number, "1.5e3".to_string())));
+        assert!(tokens.contains(&(TokenKind::Number, "0".to_string())));
+        assert!(tokens.contains(&(TokenKind::Number, "10".to_string())));
+        assert!(tokens.contains(&(TokenKind::Number, "0x1F".to_string())));
+        assert!(tokens.contains(&(TokenKind::Number, "7u64".to_string())));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let tokens = kinds("let r#match = 1; br#\"raw\"#;");
+        assert!(tokens.contains(&(TokenKind::Ident, "match".to_string())));
+        assert!(tokens.contains(&(TokenKind::Str, "raw".to_string())));
+    }
+}
